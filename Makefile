@@ -1,0 +1,51 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz sweeps examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sim ./internal/core
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# One benchmark per paper exhibit plus the Section 3.5 ablations.
+bench:
+	$(GO) test . -bench . -benchmem -benchtime 3x
+
+fuzz:
+	$(GO) test ./internal/dagman -fuzz 'FuzzParse$$' -fuzztime 30s
+	$(GO) test ./internal/dagman -fuzz FuzzParseSubmit -fuzztime 30s
+
+# Regenerate the Figures 6-9 sweeps into results/ (about 10 minutes).
+sweeps:
+	mkdir -p results
+	$(GO) run ./cmd/simgrid -dag airsn    -scale 1 -p 25 -q 25 > results/fig6_airsn.txt
+	$(GO) run ./cmd/simgrid -dag inspiral -scale 1 -p 15 -q 15 > results/fig7_inspiral.txt
+	$(GO) run ./cmd/simgrid -dag sdss     -scale 1 -p 8  -q 8  > results/fig8_sdss.txt
+	$(GO) run ./cmd/simgrid -dag montage  -scale 1 -p 12 -q 12 > results/fig9_montage.txt
+	$(GO) run ./cmd/eligdiff -dag airsn -summary    > results/fig4_eligibility.txt
+	$(GO) run ./cmd/eligdiff -dag inspiral -summary >> results/fig4_eligibility.txt
+	$(GO) run ./cmd/eligdiff -dag montage -summary  >> results/fig4_eligibility.txt
+	$(GO) run ./cmd/eligdiff -dag sdss -summary     >> results/fig4_eligibility.txt
+	$(GO) run ./cmd/overhead > results/overhead.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/theory
+	$(GO) run ./examples/dagmanfile
+	$(GO) run ./examples/sweep
+	$(GO) run ./examples/airsn
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunMetricsOnly(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dag", "airsn", "-scale", "25", "-seed", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"execution time:", "batches:", "utilization"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "assign") {
+		t.Fatal("trace printed without -trace")
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dag", "airsn", "-scale", "25", "-trace", "-maxevents", "30"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "batch") || !strings.Contains(s, "assign") || !strings.Contains(s, "complete") {
+		t.Fatalf("trace missing event kinds:\n%s", s)
+	}
+	if !strings.Contains(s, "trace truncated after 30 events") {
+		t.Fatalf("truncation notice missing:\n%s", s)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	args := []string{"-dag", "airsn", "-scale", "25", "-seed", "7"}
+	var a, b strings.Builder
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("dagsim not deterministic")
+	}
+}
+
+func TestRunOnDAGManFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.dag")
+	os.WriteFile(path, []byte("Job a a.sub\nJob b b.sub\nParent a Child b\n"), 0o644)
+	var out strings.Builder
+	if err := run([]string{"-dag", path, "-trace", "-bit", "0.5", "-bs", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "assign   a") {
+		t.Fatalf("job a never assigned:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dag", "nope"}, &out); err == nil {
+		t.Fatal("unknown dag accepted")
+	}
+	if err := run([]string{"-policy", "nope"}, &out); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

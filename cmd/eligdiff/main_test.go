@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSummary(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dag", "airsn", "-scale", "10", "-summary"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# dag=airsn/10") || !strings.Contains(s, "max diff=") {
+		t.Fatalf("summary missing:\n%s", s)
+	}
+	if strings.Count(s, "\n") != 1 {
+		t.Fatalf("-summary should print one line:\n%s", s)
+	}
+}
+
+func TestRunRows(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dag", "airsn", "-scale", "25", "-stride", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// width 10 AIRSN has 53 jobs -> 54 trace points + summary
+	if len(lines) < 50 {
+		t.Fatalf("too few rows: %d", len(lines))
+	}
+	if f := strings.Fields(lines[0]); len(f) != 5 || f[0] != "0" {
+		t.Fatalf("first row should be step 0 with 5 columns: %q", lines[0])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dag", "nope"}, &out); err == nil {
+		t.Fatal("unknown dag accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Command overhead regenerates the Section 3.6 measurements: the
+// running time and memory consumption of the prio scheduling pipeline on
+// the four scientific dags (the paper reports, on 2006 hardware: AIRSN
+// <1 s / 2 MB, Inspiral 16 s / 21 MB, Montage 8 s / 104 MB, SDSS 845 s /
+// 1.3 GB). Absolute numbers differ on modern hardware; the expected
+// shape — SDSS slowest and hungriest, AIRSN trivial — is preserved.
+//
+// Usage:
+//
+//	overhead [-scale 1] [-dags airsn,inspiral,montage,sdss] [-naive]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "overhead:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("overhead", flag.ContinueOnError)
+	scale := fs.Int("scale", 1, "divide the paper workload size by this factor")
+	list := fs.String("dags", strings.Join(workloads.Names(), ","), "comma list of workloads")
+	naive := fs.Bool("naive", false, "use the naive Combine implementation")
+	noFast := fs.Bool("nofastpath", false, "disable the bipartite decomposition fast path (Section 3.5 ablation)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := core.Options{}
+	if *naive {
+		opts.Combine = core.CombineNaive
+	}
+	opts.Decompose.DisableFastPath = *noFast
+
+	fmt.Fprintf(w, "%-10s %9s %9s %12s %12s %11s %s\n",
+		"dag", "jobs", "arcs", "time", "alloc", "components", "paper(2006)")
+	paper := map[string]string{
+		"airsn":    "<1s / 2MB",
+		"inspiral": "16s / 21MB",
+		"montage":  "8s / 104MB",
+		"sdss":     "845s / 1.3GB",
+	}
+	for _, name := range strings.Split(*list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		g, label, err := cli.LoadDag(name, *scale)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		s := core.PrioritizeOpts(g, opts)
+		elapsed := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		alloc := after.TotalAlloc - before.TotalAlloc
+		fmt.Fprintf(w, "%-10s %9d %9d %12v %12s %11d %s\n",
+			label, g.NumNodes(), g.NumArcs(), elapsed.Round(time.Millisecond),
+			formatBytes(alloc), len(s.Components), paper[name])
+	}
+	return nil
+}
+
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

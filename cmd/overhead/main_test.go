@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunScaled(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "50", "-dags", "airsn,sdss"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"airsn/50", "sdss/50", "components", "845s / 1.3GB"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunAblationsAgreeOnComponentCount(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-scale", "100", "-dags", "airsn"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "100", "-dags", "airsn", "-naive", "-nofastpath"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	// component counts (column 6) must match between configurations
+	fa := strings.Fields(strings.Split(a.String(), "\n")[1])
+	fb := strings.Fields(strings.Split(b.String(), "\n")[1])
+	if fa[5] != fb[5] {
+		t.Fatalf("component counts differ: %s vs %s", fa[5], fb[5])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dags", "bogus"}, &out); err == nil {
+		t.Fatal("unknown dag accepted")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[uint64]string{
+		512:             "512B",
+		2048:            "2.0KB",
+		3 << 20:         "3.0MB",
+		1 << 31:         "2.00GB",
+		5*1<<20 + 1<<19: "5.5MB",
+	}
+	for in, want := range cases {
+		if got := formatBytes(in); got != want {
+			t.Errorf("formatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

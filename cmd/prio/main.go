@@ -1,0 +1,224 @@
+// Command prio is the scheduling tool of Section 3.2: given a DAGMan
+// input file, it prioritizes the jobs with the heuristic of Section 3.1
+// and instruments the file (and optionally the referenced job submit
+// description files) so that Condor assigns jobs in PRIO order.
+//
+// Usage:
+//
+//	prio [flags] input.dag [more.dag ...]
+//
+//	-o file      write the instrumented DAGMan file here (default: stdout)
+//	-inplace     overwrite the input file instead
+//	-submit      also instrument the referenced JSDFs in place
+//	-dot file    write the prioritized dag in Graphviz format
+//	-stats       print scheduling statistics to stderr
+//	-naive       use the pre-engineering naive Combine phase (Section 3.5)
+//
+// Several DAGMan files may be given with -inplace; they are prioritized
+// in parallel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dagman"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "prio:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("prio", flag.ContinueOnError)
+	out := fs.String("o", "", "output path for the instrumented DAGMan file (default stdout)")
+	inplace := fs.Bool("inplace", false, "overwrite the input file")
+	submit := fs.Bool("submit", false, "also instrument referenced submit description files in place")
+	dotOut := fs.String("dot", "", "write the prioritized dag in Graphviz dot format")
+	showStats := fs.Bool("stats", false, "print scheduling statistics to stderr")
+	naive := fs.Bool("naive", false, "use the naive Combine implementation")
+	theoretical := fs.Bool("theoretical", false, "also report whether the idealized Section 2.2 algorithm handles this dag")
+	explain := fs.String("explain", "", "explain the priority assigned to this job (comma list of job names)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: prio [flags] input.dag [more.dag ...]")
+	}
+	if fs.NArg() > 1 {
+		if !*inplace {
+			return fmt.Errorf("multiple inputs require -inplace")
+		}
+		return runParallel(fs.Args(), *submit, *naive)
+	}
+	input := fs.Arg(0)
+
+	f, err := dagman.ParseFile(input)
+	if err != nil {
+		return err
+	}
+	if len(f.Splices) > 0 {
+		// Spliced workflows are flattened first; the instrumented output
+		// is the flattened file, which is what DAGMan executes anyway.
+		f, err = f.Flatten(dagman.LoadSplice(filepath.Dir(input)))
+		if err != nil {
+			return err
+		}
+	}
+	g, err := f.Graph()
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{}
+	if *naive {
+		opts.Combine = core.CombineNaive
+	}
+	start := time.Now()
+	sched := core.PrioritizeOpts(g, opts)
+	elapsed := time.Since(start)
+
+	priorities := make(map[string]int, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		priorities[g.Name(v)] = sched.Priority[v]
+	}
+	text := f.Instrument(priorities)
+
+	switch {
+	case *inplace:
+		if err := os.WriteFile(input, []byte(text), 0o644); err != nil {
+			return err
+		}
+	case *out != "":
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			return err
+		}
+	default:
+		fmt.Fprint(w, text)
+	}
+
+	if *submit {
+		if err := instrumentSubmitFiles(f, filepath.Dir(input)); err != nil {
+			return err
+		}
+	}
+
+	if *dotOut != "" {
+		dot := g.DOT(filepath.Base(input), func(v int) string {
+			return fmt.Sprintf("label=\"%s\\np=%d\"", g.Name(v), sched.Priority[v])
+		})
+		if err := os.WriteFile(*dotOut, []byte(dot), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *showStats {
+		printStats(sched, elapsed)
+	}
+	if *explain != "" {
+		for _, name := range strings.Split(*explain, ",") {
+			name = strings.TrimSpace(name)
+			v := g.IndexOf(name)
+			if v < 0 {
+				return fmt.Errorf("cannot explain %q: no such job", name)
+			}
+			fmt.Fprint(os.Stderr, sched.Explain(v))
+		}
+	}
+	if *theoretical {
+		if _, err := core.TheoreticalSchedule(g); err != nil {
+			fmt.Fprintf(os.Stderr, "theoretical algorithm: FAILS (%v); the heuristic schedule above is the graceful fallback\n", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "theoretical algorithm: succeeds; the schedule is IC-optimal")
+		}
+	}
+	return nil
+}
+
+// runParallel prioritizes several DAGMan files concurrently, rewriting
+// each in place.
+func runParallel(inputs []string, submit, naive bool) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(inputs))
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, input := range inputs {
+		wg.Add(1)
+		go func(i int, input string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			args := []string{"-inplace"}
+			if submit {
+				args = append(args, "-submit")
+			}
+			if naive {
+				args = append(args, "-naive")
+			}
+			args = append(args, input)
+			if err := run(args, io.Discard); err != nil {
+				errs[i] = fmt.Errorf("%s: %w", input, err)
+			}
+		}(i, input)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// instrumentSubmitFiles rewrites each distinct JSDF referenced by the
+// DAGMan file with a priority = $(jobpriority) attribute. Paths are
+// resolved relative to the DAGMan file's directory.
+func instrumentSubmitFiles(f *dagman.File, dir string) error {
+	done := make(map[string]bool)
+	for _, j := range f.Jobs {
+		path := j.SubmitFile
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, path)
+		}
+		if done[path] {
+			continue
+		}
+		done[path] = true
+		sf, err := dagman.ParseSubmitFile(path)
+		if err != nil {
+			return fmt.Errorf("submit file for job %s: %w", j.Name, err)
+		}
+		sf.InstrumentPriority()
+		if err := os.WriteFile(path, []byte(sf.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printStats(s *core.Schedule, elapsed time.Duration) {
+	g := s.Graph
+	fmt.Fprintf(os.Stderr, "jobs: %d  dependencies: %d  shortcuts removed: %d\n",
+		g.NumNodes(), g.NumArcs(), len(s.Decomposition.Shortcuts))
+	families := map[string]int{}
+	bip := 0
+	for _, cs := range s.Components {
+		families[cs.Family.String()]++
+		if cs.Comp.Bipartite {
+			bip++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "components: %d (%d via bipartite fast path) by family: %v\n",
+		len(s.Components), bip, families)
+	fmt.Fprintf(os.Stderr, "scheduling time: %v\n", elapsed)
+}

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dagman"
+	"repro/internal/workloads"
+)
+
+const fig3 = `Job a a.sub
+Job b b.sub
+Job c c.sub
+Job d d.sub
+Job e e.sub
+Parent a Child b
+Parent c Child d e
+`
+
+func writeInput(t *testing.T) (dir, dagPath string) {
+	t.Helper()
+	dir = t.TempDir()
+	dagPath = filepath.Join(dir, "IV.dag")
+	if err := os.WriteFile(dagPath, []byte(fig3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		sub := "executable = " + name + "\nqueue\n"
+		if err := os.WriteFile(filepath.Join(dir, name+".sub"), []byte(sub), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir, dagPath
+}
+
+func TestRunStdout(t *testing.T) {
+	_, dagPath := writeInput(t)
+	var out strings.Builder
+	if err := run([]string{dagPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `Vars c jobpriority="5"`) {
+		t.Fatalf("missing Fig. 3 priority for c:\n%s", out.String())
+	}
+}
+
+func TestRunOutputFileAndSubmit(t *testing.T) {
+	dir, dagPath := writeInput(t)
+	outPath := filepath.Join(dir, "out.dag")
+	var stdout strings.Builder
+	if err := run([]string{"-o", outPath, "-submit", dagPath}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Fatal("wrote to stdout despite -o")
+	}
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "jobpriority") {
+		t.Fatal("output file not instrumented")
+	}
+	sub, err := os.ReadFile(filepath.Join(dir, "c.sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sub), "priority = $(jobpriority)") {
+		t.Fatalf("submit file not instrumented:\n%s", sub)
+	}
+}
+
+func TestRunInplace(t *testing.T) {
+	_, dagPath := writeInput(t)
+	var stdout strings.Builder
+	if err := run([]string{"-inplace", dagPath}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(dagPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), `Vars c jobpriority="5"`) {
+		t.Fatal("input not instrumented in place")
+	}
+	// running again must not duplicate the VARS lines
+	if err := run([]string{"-inplace", dagPath}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	text2, _ := os.ReadFile(dagPath)
+	if strings.Count(string(text2), "jobpriority") != 5 {
+		t.Fatalf("idempotence broken:\n%s", text2)
+	}
+}
+
+func TestRunDotOutput(t *testing.T) {
+	dir, dagPath := writeInput(t)
+	dotPath := filepath.Join(dir, "g.dot")
+	var stdout strings.Builder
+	if err := run([]string{"-o", filepath.Join(dir, "x.dag"), "-dot", dotPath, dagPath}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	dot, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dot), "digraph") || !strings.Contains(string(dot), "p=5") {
+		t.Fatalf("dot output wrong:\n%s", dot)
+	}
+}
+
+func TestRunNaiveMatchesDefault(t *testing.T) {
+	_, dagPath := writeInput(t)
+	var a, b strings.Builder
+	if err := run([]string{dagPath}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-naive", dagPath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("naive and B-tree combine disagree")
+	}
+}
+
+func TestRunSplicedInput(t *testing.T) {
+	dir := t.TempDir()
+	inner := filepath.Join(dir, "inner.dag")
+	os.WriteFile(inner, []byte("Job s s.sub\nJob t t.sub\nParent s Child t\n"), 0o644)
+	outer := filepath.Join(dir, "outer.dag")
+	os.WriteFile(outer, []byte("Splice in inner.dag\nJob end end.sub\nParent in Child end\n"), 0o644)
+	var out strings.Builder
+	if err := run([]string{outer}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Job in+s", "Job in+t", `Vars in+s jobpriority="3"`, "Parent in+t Child end"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("flattened output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if err := run([]string{"/no/such/file.dag"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.dag")
+	os.WriteFile(bad, []byte("Job a\n"), 0o644)
+	if err := run([]string{bad}, &out); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+	cyc := filepath.Join(dir, "cyc.dag")
+	os.WriteFile(cyc, []byte("Job a a.sub\nJob b b.sub\nParent a Child b\nParent b Child a\n"), 0o644)
+	if err := run([]string{cyc}, &out); err == nil {
+		t.Fatal("cyclic file accepted")
+	}
+	// -submit with missing JSDF
+	lone := filepath.Join(dir, "lone.dag")
+	os.WriteFile(lone, []byte("Job a missing.sub\n"), 0o644)
+	if err := run([]string{"-o", filepath.Join(dir, "o.dag"), "-submit", lone}, &out); err == nil {
+		t.Fatal("missing submit file accepted")
+	}
+}
+
+func TestRunMultipleFilesParallel(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 6; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("w%d.dag", i))
+		if err := os.WriteFile(p, []byte(fig3), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	var out strings.Builder
+	if err := run(append([]string{"-inplace"}, paths...), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		text, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(text), `Vars c jobpriority="5"`) {
+			t.Fatalf("%s not instrumented", p)
+		}
+	}
+	// multiple files without -inplace must be rejected
+	if err := run(paths, &out); err == nil {
+		t.Fatal("multiple inputs without -inplace accepted")
+	}
+}
+
+// TestRunAIRSNEndToEnd pushes the paper's full AIRSN dag through the
+// real tool surface: render the 773-job dag as a DAGMan input file, run
+// prio on it, and confirm the Fig. 5 bottleneck priority (753) in the
+// instrumented output.
+func TestRunAIRSNEndToEnd(t *testing.T) {
+	g := workloads.PaperAIRSN()
+	f := dagman.FromGraph(g, nil)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "airsn.dag")
+	if err := os.WriteFile(path, []byte(f.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	fork := g.Name(workloads.AIRSNForkJob(g))
+	want := fmt.Sprintf("Vars %s jobpriority=\"753\"", fork)
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("instrumented AIRSN missing %q", want)
+	}
+	// re-parse and confirm every job carries a priority
+	f2, err := dagman.Parse(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Jobs) != 773 {
+		t.Fatalf("round trip lost jobs: %d", len(f2.Jobs))
+	}
+	if got := strings.Count(out.String(), "jobpriority"); got != 773 {
+		t.Fatalf("%d jobpriority lines, want 773", got)
+	}
+}

@@ -1,0 +1,91 @@
+// Command simgrid regenerates the evaluation figures of Section 4
+// (Figures 6-9): for a chosen dag it sweeps the (mu_BIT, mu_BS)
+// parameter grid, compares the PRIO and FIFO scheduling algorithms, and
+// prints one row per grid point with the three metric ratios (expected
+// execution time, probability of stalling, expected utilization) as
+// medians with 95% confidence intervals.
+//
+// The paper's grid is mu_BIT in {10^-3 .. 10^3} and mu_BS in
+// {2^0 .. 2^16}, with p = q = 300; defaults here are laptop-scale and
+// can be raised to paper scale with -p 300 -q 300 -scale 1.
+//
+// Usage:
+//
+//	simgrid -dag airsn [-scale 4] [-bit 10^-1,10^0,10^1] [-bs 2^2,2^4,2^6]
+//	        [-p 40] [-q 40] [-seed 1] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simgrid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("simgrid", flag.ContinueOnError)
+	dagSpec := fs.String("dag", "airsn", "workload name (airsn, inspiral, montage, sdss) or DAGMan file")
+	scale := fs.Int("scale", 4, "divide the paper workload size by this factor (1 = paper scale)")
+	bits := fs.String("bit", "10^-3,10^-2,10^-1,10^0,10^1,10^2,10^3", "comma list of mu_BIT values (a^b supported)")
+	bss := fs.String("bs", "2^0,2^2,2^4,2^6,2^8,2^10,2^12,2^14,2^16", "comma list of mu_BS values (a^b supported)")
+	p := fs.Int("p", 40, "samples in the empirical sampling distribution")
+	q := fs.Int("q", 40, "measurements averaged per sample")
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	workers := fs.Int("workers", 0, "parallel replications (0 = all CPUs)")
+	policy := fs.String("policy", "prio", "numerator policy: prio, fifo, random, critpath, prio-maxjobs=N")
+	against := fs.String("against", "fifo", "denominator policy (same names)")
+	fail := fs.Float64("fail", 0, "per-assignment worker failure probability")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, label, err := cli.LoadDag(*dagSpec, *scale)
+	if err != nil {
+		return err
+	}
+	muBITs, err := cli.ParseFloats(*bits)
+	if err != nil {
+		return fmt.Errorf("-bit: %w", err)
+	}
+	muBSs, err := cli.ParseFloats(*bss)
+	if err != nil {
+		return fmt.Errorf("-bs: %w", err)
+	}
+
+	numFactory, err := sim.PolicyFactory(*policy, g)
+	if err != nil {
+		return err
+	}
+	denFactory, err := sim.PolicyFactory(*against, g)
+	if err != nil {
+		return err
+	}
+
+	opts := sim.ExperimentOptions{P: *p, Q: *q, Seed: *seed, Workers: *workers, Confidence: 95}
+	fmt.Fprintf(w, "# dag=%s jobs=%d arcs=%d  p=%d q=%d seed=%d\n", label, g.NumNodes(), g.NumArcs(), *p, *q, *seed)
+	fmt.Fprintf(w, "# ratios are %s/%s: median [95%% CI]; <1 means %s wins on time/stall, >1 on utilization\n",
+		*policy, *against, *policy)
+	start := time.Now()
+	for _, bit := range muBITs {
+		for _, bs := range muBSs {
+			params := sim.DefaultParams(bit, bs)
+			params.FailureProb = *fail
+			c := sim.Compare(g, params, numFactory, denFactory, opts)
+			gp := sim.GridPoint{MuBIT: bit, MuBS: bs, Comparison: c}
+			fmt.Fprintln(w, gp.FormatRow())
+		}
+	}
+	fmt.Fprintf(w, "# total sweep time: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallGrid(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dag", "airsn", "-scale", "25",
+		"-bit", "10^0", "-bs", "2^2,2^4",
+		"-p", "4", "-q", "3", "-seed", "9",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# dag=airsn/25") {
+		t.Fatalf("header missing:\n%s", s)
+	}
+	rows := 0
+	for _, ln := range strings.Split(s, "\n") {
+		if strings.HasPrefix(ln, "muBIT=") {
+			rows++
+			for _, col := range []string{"time=", "stall=", "util="} {
+				if !strings.Contains(ln, col) {
+					t.Fatalf("row missing %s: %q", col, ln)
+				}
+			}
+		}
+	}
+	if rows != 2 {
+		t.Fatalf("rows = %d, want 2", rows)
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	args := []string{"-dag", "airsn", "-scale", "25", "-bit", "1", "-bs", "4", "-p", "3", "-q", "3"}
+	var a, b strings.Builder
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	stripTiming := func(s string) string {
+		lines := strings.Split(s, "\n")
+		var kept []string
+		for _, ln := range lines {
+			if !strings.HasPrefix(ln, "# total sweep time") {
+				kept = append(kept, ln)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if stripTiming(a.String()) != stripTiming(b.String()) {
+		t.Fatal("sweep output not deterministic")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dag", "nope"}, &out); err == nil {
+		t.Fatal("unknown dag accepted")
+	}
+	if err := run([]string{"-bit", "zzz"}, &out); err == nil {
+		t.Fatal("bad -bit accepted")
+	}
+	if err := run([]string{"-bs", ""}, &out); err == nil {
+		t.Fatal("empty -bs accepted")
+	}
+}

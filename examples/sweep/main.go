@@ -1,0 +1,32 @@
+// Sweep: a miniature of the Figures 6-9 evaluation.
+//
+// Runs the PRIO/FIFO comparison for a scaled-down AIRSN dag over a small
+// (mu_BIT, mu_BS) grid and prints the three metric ratios per point,
+// demonstrating the trends the paper reports: parity when batches are
+// very frequent or enormous, and a clear PRIO win in the middle of the
+// batch-size range.
+//
+// Run with: go run ./examples/sweep
+// (cmd/simgrid runs the full paper-scale grid.)
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	g := workloads.AIRSN(60) // width 60: 203 jobs, fast enough to sweep inline
+	fmt.Printf("AIRSN width 60: %d jobs\n", g.NumNodes())
+	fmt.Println("ratio columns: median [95% CI]; time and stall < 1 mean PRIO wins, utilization > 1 means PRIO wins")
+
+	muBITs := []float64{0.001, 0.1, 1, 10}
+	muBSs := []float64{1, 4, 16, 64, 1024}
+	opts := sim.ExperimentOptions{P: 20, Q: 20, Seed: 7}
+
+	sim.Sweep(g, muBITs, muBSs, opts, func(gp sim.GridPoint) {
+		fmt.Println(gp.FormatRow())
+	})
+}

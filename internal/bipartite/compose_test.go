@@ -1,0 +1,82 @@
+package bipartite
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+func TestComposeEmpty(t *testing.T) {
+	g, err := Compose(nil)
+	if err != nil || g.NumNodes() != 0 {
+		t.Fatalf("empty composition = %v, %v", g, err)
+	}
+}
+
+func TestComposeSingle(t *testing.T) {
+	g, err := Compose([]*dag.Graph{NewW(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 || g.NumArcs() != 4 {
+		t.Fatalf("single block composition changed shape: %d nodes %d arcs", g.NumNodes(), g.NumArcs())
+	}
+}
+
+func TestComposeWIntoM(t *testing.T) {
+	// (1,3)-W (1 source, 3 sinks) into (1,3)-M (3 sources, 1 sink):
+	// the three W sinks become the three M sources -> a 5-node
+	// fork-join.
+	g, err := Compose([]*dag.Graph{NewW(1, 3), NewM(1, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("nodes = %d, want 5", g.NumNodes())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatalf("fork-join shape wrong: %d sources, %d sinks", len(g.Sources()), len(g.Sinks()))
+	}
+	if g.CriticalPathLength() != 3 {
+		t.Fatalf("critical path = %d, want 3", g.CriticalPathLength())
+	}
+}
+
+func TestComposePartialIdentification(t *testing.T) {
+	// W(1,2) has 2 sinks; M(1,3) needs 3 sources, so only 2 identify
+	// and the third stays a fresh source.
+	g, err := Compose([]*dag.Graph{NewW(1, 2), NewM(1, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sources()) != 2 { // the W source + the unmatched M source
+		t.Fatalf("sources = %d, want 2", len(g.Sources()))
+	}
+}
+
+func TestRandomCompositeValidAndSchedulable(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 50; trial++ {
+		g, err := RandomComposite(r, 1+r.Intn(4))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if g.NumNodes() == 0 {
+			t.Fatalf("trial %d: empty composite", trial)
+		}
+	}
+}
+
+func TestRandomBlockAlwaysClassifies(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 200; trial++ {
+		b := RandomBlock(r)
+		if _, ok := Classify(b); !ok {
+			t.Fatalf("trial %d: random block not classified: %v", trial, b.Arcs())
+		}
+	}
+}

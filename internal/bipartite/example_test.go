@@ -1,0 +1,21 @@
+package bipartite_test
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+)
+
+func ExampleClassify() {
+	// A (2,2)-W-dag: two sources sharing one of their two children.
+	g := bipartite.NewW(2, 2)
+	c, ok := bipartite.Classify(g)
+	fmt.Println(ok, c.Family, c.S, c.T)
+	for _, u := range c.SourceOrder {
+		fmt.Print(g.Name(u), " ")
+	}
+	fmt.Println()
+	// Output:
+	// true W 2 2
+	// u0 u1
+}

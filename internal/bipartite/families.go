@@ -1,0 +1,176 @@
+// Package bipartite implements the building blocks of the scheduling
+// theory (Section 2.2, Fig. 2): the bipartite dag families with known
+// IC-optimal schedules — (s,t)-W-dags, (s,t)-M-dags, n-N-dags,
+// n-Cycle-dags, and bipartite cliques — together with recognizers that
+// classify an arbitrary connected bipartite dag into one of the families
+// and produce its explicit IC-optimal source order.
+//
+// A "bipartite dag" here is the paper's two-level notion: the node set
+// splits into sources U and sinks V with every arc running U -> V.
+package bipartite
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Family identifies one of the Fig. 2 building-block families.
+type Family int
+
+const (
+	// Unknown marks a component outside every recognized family; the
+	// heuristic falls back to outdegree order for these.
+	Unknown Family = iota
+	// WDag is the expansive (s,t)-W-dag: s sources, each with t
+	// children, consecutive sources sharing exactly one child; the dag
+	// has s(t-1)+1 sinks.
+	WDag
+	// MDag is the reductive (s,t)-M-dag, the arc-reversal of a W-dag:
+	// s sinks, each with t parents, consecutive sinks sharing exactly
+	// one parent; the dag has s(t-1)+1 sources.
+	MDag
+	// NDag is the n-N-dag: sources u1..un, sinks v1..vn, with arcs
+	// ui -> vi and ui -> v(i+1); executing u1, u2, ... renders one new
+	// sink eligible per step.
+	NDag
+	// CycleDag is the n-Cycle-dag: the N-dag closed into a ring
+	// (ui -> vi and ui -> v(i+1 mod n)); n >= 3 (the 2-Cycle is the
+	// 2-Clique).
+	CycleDag
+	// CliqueDag is the complete bipartite dag: every source feeds every
+	// sink.
+	CliqueDag
+)
+
+func (f Family) String() string {
+	switch f {
+	case WDag:
+		return "W"
+	case MDag:
+		return "M"
+	case NDag:
+		return "N"
+	case CycleDag:
+		return "Cycle"
+	case CliqueDag:
+		return "Clique"
+	default:
+		return "Unknown"
+	}
+}
+
+// NewW builds the (s,t)-W-dag. s >= 1, t >= 2 (t >= 1 when s == 1).
+// Source i is named "u<i>", sink j "v<j>".
+func NewW(s, t int) *dag.Graph {
+	if s < 1 || t < 1 || (s > 1 && t < 2) {
+		panic(fmt.Sprintf("bipartite: invalid W parameters (%d,%d)", s, t))
+	}
+	g := dag.NewWithCapacity(s + s*(t-1) + 1)
+	src := make([]int, s)
+	for i := 0; i < s; i++ {
+		src[i] = g.AddNode(fmt.Sprintf("u%d", i))
+	}
+	nSinks := s*(t-1) + 1
+	sink := make([]int, nSinks)
+	for j := 0; j < nSinks; j++ {
+		sink[j] = g.AddNode(fmt.Sprintf("v%d", j))
+	}
+	// Source i owns sinks [i(t-1), i(t-1)+t-1]; the last of source i's
+	// children is the first of source i+1's, which is the shared sink.
+	for i := 0; i < s; i++ {
+		for k := 0; k < t; k++ {
+			g.MustAddArc(src[i], sink[i*(t-1)+k])
+		}
+	}
+	return g
+}
+
+// NewM builds the (s,t)-M-dag (arc-reversal of the (s,t)-W-dag): s
+// sinks, each with t parents, consecutive sinks sharing one parent.
+func NewM(s, t int) *dag.Graph {
+	if s < 1 || t < 1 || (s > 1 && t < 2) {
+		panic(fmt.Sprintf("bipartite: invalid M parameters (%d,%d)", s, t))
+	}
+	nSources := s*(t-1) + 1
+	g := dag.NewWithCapacity(nSources + s)
+	src := make([]int, nSources)
+	for i := 0; i < nSources; i++ {
+		src[i] = g.AddNode(fmt.Sprintf("u%d", i))
+	}
+	sink := make([]int, s)
+	for j := 0; j < s; j++ {
+		sink[j] = g.AddNode(fmt.Sprintf("v%d", j))
+	}
+	for j := 0; j < s; j++ {
+		for k := 0; k < t; k++ {
+			g.MustAddArc(src[j*(t-1)+k], sink[j])
+		}
+	}
+	return g
+}
+
+// NewN builds the n-N-dag (n >= 1): arcs ui -> vi for i in [0,n) and
+// ui -> v(i+1) for i in [0,n-1).
+func NewN(n int) *dag.Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("bipartite: invalid N order %d", n))
+	}
+	g := dag.NewWithCapacity(2 * n)
+	src := make([]int, n)
+	for i := 0; i < n; i++ {
+		src[i] = g.AddNode(fmt.Sprintf("u%d", i))
+	}
+	sink := make([]int, n)
+	for j := 0; j < n; j++ {
+		sink[j] = g.AddNode(fmt.Sprintf("v%d", j))
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddArc(src[i], sink[i])
+		if i+1 < n {
+			g.MustAddArc(src[i], sink[i+1])
+		}
+	}
+	return g
+}
+
+// NewCycle builds the n-Cycle-dag (n >= 2): arcs ui -> vi and
+// ui -> v(i+1 mod n). Note the 2-Cycle coincides with the 2-Clique.
+func NewCycle(n int) *dag.Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("bipartite: invalid Cycle order %d", n))
+	}
+	g := dag.NewWithCapacity(2 * n)
+	src := make([]int, n)
+	for i := 0; i < n; i++ {
+		src[i] = g.AddNode(fmt.Sprintf("u%d", i))
+	}
+	sink := make([]int, n)
+	for j := 0; j < n; j++ {
+		sink[j] = g.AddNode(fmt.Sprintf("v%d", j))
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddArc(src[i], sink[i])
+		g.MustAddArc(src[i], sink[(i+1)%n])
+	}
+	return g
+}
+
+// NewClique builds the complete bipartite dag with a sources and b sinks.
+func NewClique(a, b int) *dag.Graph {
+	if a < 1 || b < 1 {
+		panic(fmt.Sprintf("bipartite: invalid Clique parameters (%d,%d)", a, b))
+	}
+	g := dag.NewWithCapacity(a + b)
+	src := make([]int, a)
+	for i := 0; i < a; i++ {
+		src[i] = g.AddNode(fmt.Sprintf("u%d", i))
+	}
+	for j := 0; j < b; j++ {
+		v := g.AddNode(fmt.Sprintf("v%d", j))
+		for i := 0; i < a; i++ {
+			g.MustAddArc(src[i], v)
+		}
+	}
+	return g
+}

@@ -1,0 +1,398 @@
+// Package btree implements an in-memory B-tree ordered set. Section 3.5
+// of the paper replaces the naive quadratic superdag-source selection
+// with "a B-Tree-based priority queue [CLRS]"; this package is that data
+// structure. The Combine phase keys it by (minimum pairwise priority,
+// component id) and repeatedly extracts the maximum.
+//
+// The tree follows the CLRS formulation: every node except the root holds
+// between t-1 and 2t-1 keys, where t is the minimum degree; insertion
+// splits full nodes on the way down; deletion rebalances by borrowing
+// from or merging with siblings on the way down, so both operations make
+// a single descent.
+package btree
+
+import "fmt"
+
+// Tree is a B-tree holding unique keys ordered by the comparator given to
+// New. It is not safe for concurrent use.
+type Tree[K any] struct {
+	less   func(a, b K) bool
+	minDeg int
+	root   *node[K]
+	size   int
+}
+
+type node[K any] struct {
+	keys     []K
+	children []*node[K] // empty for leaves
+}
+
+func (n *node[K]) leaf() bool { return len(n.children) == 0 }
+
+// New returns an empty tree with the given minimum degree (>= 2) and
+// strict-weak-order comparator.
+func New[K any](minDeg int, less func(a, b K) bool) *Tree[K] {
+	if minDeg < 2 {
+		panic(fmt.Sprintf("btree: minimum degree %d < 2", minDeg))
+	}
+	if less == nil {
+		panic("btree: nil comparator")
+	}
+	return &Tree[K]{less: less, minDeg: minDeg, root: &node[K]{}}
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree[K]) Len() int { return t.size }
+
+func (t *Tree[K]) eq(a, b K) bool { return !t.less(a, b) && !t.less(b, a) }
+
+// findKey returns the index of the first key in n not less than k, and
+// whether that key equals k.
+func (t *Tree[K]) findKey(n *node[K], k K) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.less(n.keys[mid], k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && !t.less(k, n.keys[lo])
+}
+
+// Contains reports whether k is in the tree.
+func (t *Tree[K]) Contains(k K) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
+// Get returns the stored key equal to k (useful when the comparator
+// inspects only part of the key) and whether it was found.
+func (t *Tree[K]) Get(k K) (K, bool) {
+	n := t.root
+	for {
+		i, found := t.findKey(n, k)
+		if found {
+			return n.keys[i], true
+		}
+		if n.leaf() {
+			var zero K
+			return zero, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Insert adds k to the tree. It returns false (leaving the tree
+// unchanged) if an equal key is already present.
+func (t *Tree[K]) Insert(k K) bool {
+	if t.containsFast(k) {
+		return false
+	}
+	r := t.root
+	if len(r.keys) == 2*t.minDeg-1 {
+		newRoot := &node[K]{children: []*node[K]{r}}
+		t.splitChild(newRoot, 0)
+		t.root = newRoot
+	}
+	t.insertNonFull(t.root, k)
+	t.size++
+	return true
+}
+
+func (t *Tree[K]) containsFast(k K) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
+// splitChild splits the full child n.children[i] around its median key.
+func (t *Tree[K]) splitChild(n *node[K], i int) {
+	td := t.minDeg
+	child := n.children[i]
+	median := child.keys[td-1]
+
+	right := &node[K]{keys: append([]K(nil), child.keys[td:]...)}
+	if !child.leaf() {
+		right.children = append([]*node[K](nil), child.children[td:]...)
+		child.children = child.children[:td]
+	}
+	child.keys = child.keys[:td-1]
+
+	n.keys = append(n.keys, median)
+	copy(n.keys[i+1:], n.keys[i:len(n.keys)-1])
+	n.keys[i] = median
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:len(n.children)-1])
+	n.children[i+1] = right
+}
+
+func (t *Tree[K]) insertNonFull(n *node[K], k K) {
+	for {
+		i, _ := t.findKey(n, k)
+		if n.leaf() {
+			n.keys = append(n.keys, k)
+			copy(n.keys[i+1:], n.keys[i:len(n.keys)-1])
+			n.keys[i] = k
+			return
+		}
+		if len(n.children[i].keys) == 2*t.minDeg-1 {
+			t.splitChild(n, i)
+			if t.less(n.keys[i], k) {
+				i++
+			} else if t.eq(n.keys[i], k) {
+				return // key rose to this node; cannot happen after containsFast, but stay safe
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes k from the tree, reporting whether it was present.
+func (t *Tree[K]) Delete(k K) bool {
+	if !t.containsFast(k) {
+		return false
+	}
+	t.delete(t.root, k)
+	if len(t.root.keys) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return true
+}
+
+// delete removes k from the subtree rooted at n. Invariant: n has at
+// least minDeg keys whenever it is not the root, guaranteed by the
+// caller fattening children before descending.
+func (t *Tree[K]) delete(n *node[K], k K) {
+	td := t.minDeg
+	i, found := t.findKey(n, k)
+	if found {
+		if n.leaf() {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			return
+		}
+		// Internal node: replace with predecessor or successor, or merge.
+		if len(n.children[i].keys) >= td {
+			pred := t.maxKey(n.children[i])
+			n.keys[i] = pred
+			t.delete(n.children[i], pred)
+			return
+		}
+		if len(n.children[i+1].keys) >= td {
+			succ := t.minKey(n.children[i+1])
+			n.keys[i] = succ
+			t.delete(n.children[i+1], succ)
+			return
+		}
+		t.mergeChildren(n, i)
+		t.delete(n.children[i], k)
+		return
+	}
+	if n.leaf() {
+		return // not present
+	}
+	// Ensure the child we descend into has at least td keys.
+	if len(n.children[i].keys) < td {
+		i = t.fill(n, i)
+	}
+	t.delete(n.children[i], k)
+}
+
+// fill grows n.children[i] to at least minDeg keys by borrowing from a
+// sibling or merging; returns the (possibly shifted) child index to
+// descend into.
+func (t *Tree[K]) fill(n *node[K], i int) int {
+	td := t.minDeg
+	if i > 0 && len(n.children[i-1].keys) >= td {
+		t.borrowFromLeft(n, i)
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].keys) >= td {
+		t.borrowFromRight(n, i)
+		return i
+	}
+	if i < len(n.children)-1 {
+		t.mergeChildren(n, i)
+		return i
+	}
+	t.mergeChildren(n, i-1)
+	return i - 1
+}
+
+func (t *Tree[K]) borrowFromLeft(n *node[K], i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.keys = append(child.keys, child.keys[0])
+	copy(child.keys[1:], child.keys[:len(child.keys)-1])
+	child.keys[0] = n.keys[i-1]
+	n.keys[i-1] = left.keys[len(left.keys)-1]
+	left.keys = left.keys[:len(left.keys)-1]
+	if !left.leaf() {
+		child.children = append(child.children, nil)
+		copy(child.children[1:], child.children[:len(child.children)-1])
+		child.children[0] = left.children[len(left.children)-1]
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+func (t *Tree[K]) borrowFromRight(n *node[K], i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	n.keys[i] = right.keys[0]
+	right.keys = append(right.keys[:0], right.keys[1:]...)
+	if !right.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = append(right.children[:0], right.children[1:]...)
+	}
+}
+
+// mergeChildren merges n.children[i], n.keys[i], and n.children[i+1]
+// into a single child at i.
+func (t *Tree[K]) mergeChildren(n *node[K], i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.keys = append(child.keys, right.keys...)
+	child.children = append(child.children, right.children...)
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func (t *Tree[K]) minKey(n *node[K]) K {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+func (t *Tree[K]) maxKey(n *node[K]) K {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1]
+}
+
+// Min returns the smallest key, or ok=false when the tree is empty.
+func (t *Tree[K]) Min() (K, bool) {
+	if t.size == 0 {
+		var zero K
+		return zero, false
+	}
+	return t.minKey(t.root), true
+}
+
+// Max returns the largest key, or ok=false when the tree is empty.
+func (t *Tree[K]) Max() (K, bool) {
+	if t.size == 0 {
+		var zero K
+		return zero, false
+	}
+	return t.maxKey(t.root), true
+}
+
+// DeleteMin removes and returns the smallest key.
+func (t *Tree[K]) DeleteMin() (K, bool) {
+	k, ok := t.Min()
+	if ok {
+		t.Delete(k)
+	}
+	return k, ok
+}
+
+// DeleteMax removes and returns the largest key.
+func (t *Tree[K]) DeleteMax() (K, bool) {
+	k, ok := t.Max()
+	if ok {
+		t.Delete(k)
+	}
+	return k, ok
+}
+
+// Ascend calls f on every key in ascending order until f returns false.
+func (t *Tree[K]) Ascend(f func(K) bool) {
+	t.ascend(t.root, f)
+}
+
+func (t *Tree[K]) ascend(n *node[K], f func(K) bool) bool {
+	for i, k := range n.keys {
+		if !n.leaf() && !t.ascend(n.children[i], f) {
+			return false
+		}
+		if !f(k) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return t.ascend(n.children[len(n.children)-1], f)
+	}
+	return true
+}
+
+// Keys returns all keys in ascending order.
+func (t *Tree[K]) Keys() []K {
+	out := make([]K, 0, t.size)
+	t.Ascend(func(k K) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// checkInvariants verifies B-tree structural invariants; it is exported
+// for tests via the export_test pattern.
+func (t *Tree[K]) checkInvariants() error {
+	count, err := t.check(t.root, true, nil, nil, -1)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but %d keys reachable", t.size, count)
+	}
+	return nil
+}
+
+func (t *Tree[K]) check(n *node[K], isRoot bool, lo, hi *K, depth int) (int, error) {
+	if !isRoot && len(n.keys) < t.minDeg-1 {
+		return 0, fmt.Errorf("btree: underfull node with %d keys", len(n.keys))
+	}
+	if len(n.keys) > 2*t.minDeg-1 {
+		return 0, fmt.Errorf("btree: overfull node with %d keys", len(n.keys))
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if !t.less(n.keys[i-1], n.keys[i]) {
+			return 0, fmt.Errorf("btree: keys out of order within node")
+		}
+	}
+	if lo != nil && len(n.keys) > 0 && !t.less(*lo, n.keys[0]) {
+		return 0, fmt.Errorf("btree: key below lower bound")
+	}
+	if hi != nil && len(n.keys) > 0 && !t.less(n.keys[len(n.keys)-1], *hi) {
+		return 0, fmt.Errorf("btree: key above upper bound")
+	}
+	if n.leaf() {
+		return len(n.keys), nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return 0, fmt.Errorf("btree: %d children for %d keys", len(n.children), len(n.keys))
+	}
+	total := len(n.keys)
+	for i, c := range n.children {
+		var clo, chi *K
+		if i > 0 {
+			clo = &n.keys[i-1]
+		} else {
+			clo = lo
+		}
+		if i < len(n.keys) {
+			chi = &n.keys[i]
+		} else {
+			chi = hi
+		}
+		sub, err := t.check(c, false, clo, chi, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}

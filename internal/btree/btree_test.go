@@ -1,0 +1,354 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func intTree(minDeg int) *Tree[int] {
+	return New(minDeg, func(a, b int) bool { return a < b })
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New[int](1, func(a, b int) bool { return a < b }) },
+		func() { New[int](2, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInsertContains(t *testing.T) {
+	tr := intTree(2)
+	for _, k := range []int{5, 3, 8, 1, 4, 9, 2, 7, 6, 0} {
+		if !tr.Insert(k) {
+			t.Fatalf("Insert(%d) reported duplicate", k)
+		}
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for k := 0; k < 10; k++ {
+		if !tr.Contains(k) {
+			t.Fatalf("Contains(%d) false", k)
+		}
+	}
+	if tr.Contains(42) {
+		t.Fatal("Contains(42) true")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	tr := intTree(2)
+	tr.Insert(1)
+	if tr.Insert(1) {
+		t.Fatal("duplicate insert accepted")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	tr := intTree(2)
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min of empty ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max of empty ok")
+	}
+	if _, ok := tr.DeleteMin(); ok {
+		t.Fatal("DeleteMin of empty ok")
+	}
+	if _, ok := tr.DeleteMax(); ok {
+		t.Fatal("DeleteMax of empty ok")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := intTree(3)
+	for k := 100; k > 0; k-- {
+		tr.Insert(k)
+	}
+	if mn, _ := tr.Min(); mn != 1 {
+		t.Fatalf("Min = %d", mn)
+	}
+	if mx, _ := tr.Max(); mx != 100 {
+		t.Fatalf("Max = %d", mx)
+	}
+}
+
+func TestDeleteLeafAndInternal(t *testing.T) {
+	tr := intTree(2)
+	for k := 0; k < 50; k++ {
+		tr.Insert(k)
+	}
+	for _, k := range []int{25, 0, 49, 10, 30} {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) false", k)
+		}
+		if tr.Contains(k) {
+			t.Fatalf("Contains(%d) after delete", k)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after Delete(%d): %v", k, err)
+		}
+	}
+	if tr.Len() != 45 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Delete(25) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestDeleteAllAscending(t *testing.T) {
+	tr := intTree(2)
+	for k := 0; k < 200; k++ {
+		tr.Insert(k)
+	}
+	for k := 0; k < 200; k++ {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after Delete(%d): %v", k, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+}
+
+func TestDeleteAllDescending(t *testing.T) {
+	tr := intTree(3)
+	for k := 0; k < 200; k++ {
+		tr.Insert(k)
+	}
+	for k := 199; k >= 0; k-- {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatal("tree not empty")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteMinMaxDrain(t *testing.T) {
+	tr := intTree(2)
+	for k := 0; k < 64; k++ {
+		tr.Insert(k)
+	}
+	for want := 0; want < 32; want++ {
+		got, ok := tr.DeleteMin()
+		if !ok || got != want {
+			t.Fatalf("DeleteMin = %d,%v want %d", got, ok, want)
+		}
+	}
+	for want := 63; want >= 32; want-- {
+		got, ok := tr.DeleteMax()
+		if !ok || got != want {
+			t.Fatalf("DeleteMax = %d,%v want %d", got, ok, want)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatal("not drained")
+	}
+}
+
+func TestAscendOrderAndEarlyStop(t *testing.T) {
+	tr := intTree(2)
+	r := rng.New(1)
+	for _, k := range r.Perm(500) {
+		tr.Insert(k)
+	}
+	prev := -1
+	tr.Ascend(func(k int) bool {
+		if k <= prev {
+			t.Fatalf("Ascend out of order: %d after %d", k, prev)
+		}
+		prev = k
+		return true
+	})
+	count := 0
+	tr.Ascend(func(int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	tr := intTree(4)
+	for _, k := range []int{9, 1, 5} {
+		tr.Insert(k)
+	}
+	got := tr.Keys()
+	want := []int{1, 5, 9}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestGetCompositeKey(t *testing.T) {
+	type entry struct {
+		id  int
+		val string
+	}
+	tr := New(2, func(a, b entry) bool { return a.id < b.id })
+	tr.Insert(entry{1, "one"})
+	tr.Insert(entry{2, "two"})
+	got, ok := tr.Get(entry{id: 2})
+	if !ok || got.val != "two" {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := tr.Get(entry{id: 3}); ok {
+		t.Fatal("Get of missing id succeeded")
+	}
+}
+
+// Property: the tree behaves exactly like a sorted set under a random
+// operation sequence, for several minimum degrees.
+func TestQuickAgainstMapModel(t *testing.T) {
+	for _, minDeg := range []int{2, 3, 5, 8} {
+		f := func(seed uint64) bool {
+			r := rng.New(seed)
+			tr := intTree(minDeg)
+			model := map[int]bool{}
+			for op := 0; op < 400; op++ {
+				k := r.Intn(100)
+				switch r.Intn(3) {
+				case 0:
+					ins := tr.Insert(k)
+					if ins == model[k] {
+						return false // Insert must succeed iff absent
+					}
+					model[k] = true
+				case 1:
+					del := tr.Delete(k)
+					if del != model[k] {
+						return false
+					}
+					delete(model, k)
+				case 2:
+					if tr.Contains(k) != model[k] {
+						return false
+					}
+				}
+				if tr.Len() != len(model) {
+					return false
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				return false
+			}
+			keys := tr.Keys()
+			want := make([]int, 0, len(model))
+			for k := range model {
+				want = append(want, k)
+			}
+			sort.Ints(want)
+			if len(keys) != len(want) {
+				return false
+			}
+			for i := range want {
+				if keys[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatalf("minDeg=%d: %v", minDeg, err)
+		}
+	}
+}
+
+// Property: Min/Max always agree with the model under churn.
+func TestQuickMinMaxUnderChurn(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		tr := intTree(2)
+		var sorted []int
+		for op := 0; op < 300; op++ {
+			k := r.Intn(1000)
+			if r.Intn(2) == 0 {
+				if tr.Insert(k) {
+					sorted = append(sorted, k)
+					sort.Ints(sorted)
+				}
+			} else if len(sorted) > 0 {
+				// delete a random present key
+				k = sorted[r.Intn(len(sorted))]
+				tr.Delete(k)
+				i := sort.SearchInts(sorted, k)
+				sorted = append(sorted[:i], sorted[i+1:]...)
+			}
+			if len(sorted) == 0 {
+				if _, ok := tr.Min(); ok {
+					return false
+				}
+				continue
+			}
+			mn, _ := tr.Min()
+			mx, _ := tr.Max()
+			if mn != sorted[0] || mx != sorted[len(sorted)-1] {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	r := rng.New(1)
+	keys := r.Perm(1 << 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := intTree(8)
+		for _, k := range keys {
+			tr.Insert(k)
+		}
+	}
+}
+
+func BenchmarkDeleteMax(b *testing.B) {
+	r := rng.New(1)
+	keys := r.Perm(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr := intTree(8)
+		for _, k := range keys {
+			tr.Insert(k)
+		}
+		b.StartTimer()
+		for tr.Len() > 0 {
+			tr.DeleteMax()
+		}
+	}
+}

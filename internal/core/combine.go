@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/dag"
+)
+
+// CombineStrategy selects the implementation of the Combine phase's
+// greedy superdag consumption (Step 6).
+type CombineStrategy int
+
+const (
+	// CombineBTree is the engineered implementation of Section 3.5:
+	// sources are grouped by interned eligibility profile and ranked in
+	// a B-tree priority queue keyed by minimum pairwise priority, so
+	// each round costs O(log) except when the set of distinct profiles
+	// changes.
+	CombineBTree CombineStrategy = iota
+	// CombineNaive recomputes every source's minimum pairwise priority
+	// from scratch each round, as the paper's first implementation did
+	// (quadratic per round). Kept for the ablation benchmarks.
+	CombineNaive
+)
+
+// combineOrder returns the order in which the superdag's components are
+// consumed: repeatedly pick, among the current sources of the superdag,
+// a component Ci maximizing pi = min over the other current sources Cj
+// of (priority of Ci over Cj). Ties break toward the smallest component
+// index. pids maps each component to its interned eligibility profile.
+func combineOrder(super *dag.Graph, pids []int, pt *profileTable, strategy CombineStrategy) []int {
+	switch strategy {
+	case CombineNaive:
+		return combineNaive(super, pids, pt)
+	default:
+		return combineBTree(super, pids, pt)
+	}
+}
+
+func combineNaive(super *dag.Graph, pids []int, pt *profileTable) []int {
+	n := super.NumNodes()
+	indeg := make([]int, n)
+	var sources []int
+	for v := 0; v < n; v++ {
+		indeg[v] = super.InDegree(v)
+		if indeg[v] == 0 {
+			sources = append(sources, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(sources) > 0 {
+		best, bestP := -1, math.Inf(-1)
+		for _, i := range sources {
+			pi := math.Inf(1)
+			for _, j := range sources {
+				if j == i {
+					continue
+				}
+				if r := pt.r(pids[i], pids[j]); r < pi {
+					pi = r
+				}
+			}
+			if pi > bestP { // strict: first maximum wins = smallest index
+				best, bestP = i, pi
+			}
+		}
+		order = append(order, best)
+		// remove best, keeping sources sorted
+		k := sort.SearchInts(sources, best)
+		sources = append(sources[:k], sources[k+1:]...)
+		for _, c := range super.Children(best) {
+			indeg[c]--
+			if indeg[c] == 0 {
+				k := sort.SearchInts(sources, c)
+				sources = append(sources, 0)
+				copy(sources[k+1:], sources[k:len(sources)-1])
+				sources[k] = c
+			}
+		}
+	}
+	return order
+}
+
+// groupKey orders profile groups in the B-tree: ascending by minimum
+// pairwise priority, and among equal priorities the maximum element is
+// the group holding the smallest component index, so Max() reproduces
+// the naive tie-breaking exactly.
+type groupKey struct {
+	p       float64
+	minComp int
+	pid     int
+}
+
+func groupKeyLess(a, b groupKey) bool {
+	if a.p != b.p {
+		return a.p < b.p
+	}
+	if a.minComp != b.minComp {
+		return a.minComp > b.minComp
+	}
+	return a.pid > b.pid
+}
+
+type profileGroup struct {
+	pid   int
+	count int
+	comps *btree.Tree[int]
+	pMin  float64
+	key   groupKey
+}
+
+func combineBTree(super *dag.Graph, pids []int, pt *profileTable) []int {
+	n := super.NumNodes()
+	indeg := make([]int, n)
+	groups := make(map[int]*profileGroup)
+	tree := btree.New(8, groupKeyLess)
+
+	addComp := func(c int) *profileGroup {
+		pid := pids[c]
+		g, ok := groups[pid]
+		if !ok {
+			g = &profileGroup{
+				pid:   pid,
+				comps: btree.New(8, func(a, b int) bool { return a < b }),
+			}
+			groups[pid] = g
+		}
+		g.comps.Insert(c)
+		g.count++
+		return g
+	}
+	computePMin := func(g *profileGroup) float64 {
+		p := math.Inf(1)
+		for qid := range groups {
+			if qid == g.pid && g.count < 2 {
+				continue
+			}
+			if r := pt.r(g.pid, qid); r < p {
+				p = r
+			}
+		}
+		return p
+	}
+	refreshKey := func(g *profileGroup, inTree bool) {
+		if inTree {
+			tree.Delete(g.key)
+		}
+		mc, _ := g.comps.Min()
+		g.key = groupKey{p: g.pMin, minComp: mc, pid: g.pid}
+		tree.Insert(g.key)
+	}
+	rebuildAll := func() {
+		for _, g := range groups {
+			tree.Delete(g.key)
+		}
+		for _, g := range groups {
+			g.pMin = computePMin(g)
+			mc, _ := g.comps.Min()
+			g.key = groupKey{p: g.pMin, minComp: mc, pid: g.pid}
+			tree.Insert(g.key)
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		indeg[v] = super.InDegree(v)
+		if indeg[v] == 0 {
+			addComp(v)
+		}
+	}
+	rebuildAll()
+
+	order := make([]int, 0, n)
+	for tree.Len() > 0 {
+		key, _ := tree.Max()
+		g := groups[key.pid]
+		comp, _ := g.comps.DeleteMin()
+		order = append(order, comp)
+		g.count--
+		if g.count == 0 {
+			tree.Delete(g.key)
+			delete(groups, g.pid)
+			// The departed profile may have been the minimum for others.
+			rebuildAll()
+		} else {
+			if g.count == 1 {
+				// r(g,g) no longer applies to a lone member.
+				g.pMin = computePMin(g)
+			}
+			refreshKey(g, true)
+		}
+		for _, c := range super.Children(comp) {
+			indeg[c]--
+			if indeg[c] != 0 {
+				continue
+			}
+			pid := pids[c]
+			if g2, ok := groups[pid]; ok {
+				wasAlone := g2.count == 1
+				g2.comps.Insert(c)
+				g2.count++
+				if wasAlone {
+					if r := pt.r(pid, pid); r < g2.pMin {
+						g2.pMin = r
+					}
+				}
+				refreshKey(g2, true)
+			} else {
+				g2 := addComp(c)
+				g2.pMin = computePMin(g2)
+				refreshKey(g2, false)
+				// A new profile can lower every other group's minimum.
+				for _, h := range groups {
+					if h == g2 {
+						continue
+					}
+					if r := pt.r(h.pid, pid); r < h.pMin {
+						h.pMin = r
+						refreshKey(h, true)
+					}
+				}
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainFig3(t *testing.T) {
+	g := build(t, []string{"a", "b", "c", "d", "e"}, "a>b", "c>d", "c>e")
+	s := Prioritize(g)
+
+	c := s.Explain(g.IndexOf("c"))
+	for _, want := range []string{`job "c"`, "priority 5", "rank 1 of 5", "W-dag", "1st of 2 components"} {
+		if !strings.Contains(c, want) {
+			t.Fatalf("Explain(c) missing %q:\n%s", want, c)
+		}
+	}
+	e := s.Explain(g.IndexOf("e"))
+	if !strings.Contains(e, "final all-sinks phase") {
+		t.Fatalf("Explain(e) should mention the sink phase:\n%s", e)
+	}
+	if out := s.Explain(99); !strings.Contains(out, "does not exist") {
+		t.Fatalf("Explain(99) = %q", out)
+	}
+}
+
+func TestExplainNonBipartite(t *testing.T) {
+	g := build(t, []string{"s1", "s2", "x1", "x2", "y1", "y2"},
+		"s1>y2", "s1>x1", "s2>y1", "s2>x2", "x1>y1", "x2>y2")
+	s := Prioritize(g)
+	out := s.Explain(g.IndexOf("x1"))
+	if !strings.Contains(out, "non-bipartite component") {
+		t.Fatalf("Explain should name the heuristic used:\n%s", out)
+	}
+	if !strings.Contains(out, "out-degree") {
+		t.Fatalf("Explain should include the job's out-degree:\n%s", out)
+	}
+}
+
+func TestOrdinal(t *testing.T) {
+	cases := map[int]string{1: "1st", 2: "2nd", 3: "3rd", 4: "4th", 11: "11th", 12: "12th", 13: "13th", 21: "21st", 102: "102nd"}
+	for n, want := range cases {
+		if got := ordinal(n); got != want {
+			t.Errorf("ordinal(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PriorityR returns the largest r such that Ci has r-priority over Cj
+// (Section 3.1, Steps 4-5), given the components' eligibility profiles:
+// ei[x] is the number of eligible jobs of Ci after executing the first x
+// non-sinks of its schedule, and likewise ej. The value is
+//
+//	min over x in [0,si], y in [0,sj] of
+//	    ( ei[min(si,x+y)] + ej[(x+y)-min(si,x+y)] ) / ( ei[x] + ej[y] )
+//
+// — the worst-case fraction of the eligible jobs an arbitrary split
+// (x, y) could have produced that the "Ci first" schedule retains. The
+// result always lies in [0, 1]: the splits with y = 0 make the two sides
+// equal, so the minimum never exceeds 1.
+func PriorityR(ei, ej []int) float64 {
+	si, sj := len(ei)-1, len(ej)-1
+	if si < 0 || sj < 0 {
+		panic("core: empty eligibility profile")
+	}
+	r := 1.0
+	for x := 0; x <= si; x++ {
+		for y := 0; y <= sj; y++ {
+			den := ei[x] + ej[y]
+			if den <= 0 {
+				continue
+			}
+			t := x + y
+			a := t
+			if a > si {
+				a = si
+			}
+			num := ei[a] + ej[t-a]
+			if v := float64(num) / float64(den); v < r {
+				r = v
+			}
+		}
+	}
+	return r
+}
+
+// profileTable interns eligibility profiles and caches pairwise
+// priorities between them. Real decompositions contain thousands of
+// structurally identical components (SDSS's parallel chains), so keying
+// the Combine phase by interned profile rather than by component
+// collapses the pairwise priority work to the handful of distinct
+// shapes.
+type profileTable struct {
+	ids      map[string]int
+	profiles [][]int
+	rCache   map[[2]int]float64
+}
+
+func newProfileTable() *profileTable {
+	return &profileTable{
+		ids:    make(map[string]int),
+		rCache: make(map[[2]int]float64),
+	}
+}
+
+// intern returns a stable id for the profile, assigning a new one on
+// first sight.
+func (pt *profileTable) intern(profile []int) int {
+	key := profileKey(profile)
+	if id, ok := pt.ids[key]; ok {
+		return id
+	}
+	id := len(pt.profiles)
+	pt.ids[key] = id
+	pt.profiles = append(pt.profiles, append([]int(nil), profile...))
+	return id
+}
+
+// r returns PriorityR between two interned profiles, cached.
+func (pt *profileTable) r(i, j int) float64 {
+	k := [2]int{i, j}
+	if v, ok := pt.rCache[k]; ok {
+		return v
+	}
+	v := PriorityR(pt.profiles[i], pt.profiles[j])
+	pt.rCache[k] = v
+	return v
+}
+
+func profileKey(profile []int) string {
+	var b strings.Builder
+	b.Grow(len(profile) * 3)
+	for _, v := range profile {
+		fmt.Fprintf(&b, "%x,", v)
+	}
+	return b.String()
+}

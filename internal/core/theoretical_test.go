@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+func TestTheoreticalFig3(t *testing.T) {
+	g := build(t, []string{"a", "b", "c", "d", "e"}, "a>b", "c>d", "c>e")
+	order, err := TheoreticalSchedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := orderNames(g, order)
+	want := []string{"c", "a", "b", "d", "e"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("theoretical schedule = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTheoreticalOnBuildingBlocks(t *testing.T) {
+	for name, g := range map[string]*dag.Graph{
+		"W(3,2)":   bipartite.NewW(3, 2),
+		"M(2,3)":   bipartite.NewM(2, 3),
+		"N(4)":     bipartite.NewN(4),
+		"Cycle(4)": bipartite.NewCycle(4),
+		"Clique3":  bipartite.NewClique(3, 3),
+		"chain5": build(t, []string{"a", "b", "c", "d", "e"},
+			"a>b", "b>c", "c>d", "d>e"),
+		"diamond": build(t, []string{"a", "b", "c", "d"},
+			"a>b", "a>c", "b>d", "c>d"),
+	} {
+		t.Run(name, func(t *testing.T) {
+			order, err := TheoreticalSchedule(g)
+			if err != nil {
+				t.Fatalf("theoretical algorithm failed: %v", err)
+			}
+			got, err := EligibilityTrace(g, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := optimalTrace(g)
+			for x := range got {
+				if got[x] != want[x] {
+					t.Fatalf("E(%d) = %d, optimum %d", x, got[x], want[x])
+				}
+			}
+		})
+	}
+}
+
+func TestTheoreticalFailsOnCrossed(t *testing.T) {
+	g := build(t, []string{"s1", "s2", "x1", "x2", "y1", "y2"},
+		"s1>y2", "s1>x1", "s2>y1", "s2>x2", "x1>y1", "x2>y2")
+	_, err := TheoreticalSchedule(g)
+	if !errors.Is(err, ErrNotComposite) {
+		t.Fatalf("err = %v, want ErrNotComposite", err)
+	}
+}
+
+func TestTheoreticalFailsOnUnknownBlock(t *testing.T) {
+	// Irregular bipartite block: sources of differing out-degree.
+	g := build(t, []string{"u1", "u2", "v1", "v2", "v3", "v4"},
+		"u1>v1", "u1>v2", "u1>v3", "u2>v3", "u2>v4")
+	_, err := TheoreticalSchedule(g)
+	if !errors.Is(err, ErrUnknownBlock) {
+		t.Fatalf("err = %v, want ErrUnknownBlock", err)
+	}
+}
+
+// TestHeuristicIsGraceful verifies the paper's central design claim: the
+// heuristic produces an IC-optimal schedule for every dag on which the
+// theoretical algorithm succeeds.
+func TestHeuristicIsGraceful(t *testing.T) {
+	r := rng.New(41)
+	successes := 0
+	for trial := 0; trial < 300; trial++ {
+		g := randomDag(r, 2+r.Intn(11), 0.25)
+		order, err := TheoreticalSchedule(g)
+		if err != nil {
+			continue
+		}
+		successes++
+		theo, err := EligibilityTrace(g, order)
+		if err != nil {
+			t.Fatalf("trial %d: theoretical schedule invalid: %v", trial, err)
+		}
+		heur, err := EligibilityTrace(g, Prioritize(g).Order)
+		if err != nil {
+			t.Fatalf("trial %d: heuristic schedule invalid: %v", trial, err)
+		}
+		best := optimalTrace(g)
+		for x := range best {
+			if theo[x] != best[x] {
+				t.Fatalf("trial %d: theoretical not IC-optimal at %d (%d vs %d)", trial, x, theo[x], best[x])
+			}
+			if heur[x] != best[x] {
+				t.Fatalf("trial %d: heuristic below optimum where theory succeeds (%d vs %d at %d)",
+					trial, heur[x], best[x], x)
+			}
+		}
+	}
+	if successes < 20 {
+		t.Fatalf("only %d theoretical successes in 300 trials; test too weak", successes)
+	}
+}
+
+// TestGracefulOnComposites exercises the theory's own input class:
+// dags assembled by composing Fig. 2 building blocks. The theoretical
+// algorithm should succeed on a good share of them, and wherever it
+// succeeds, both it and the heuristic must be IC-optimal at every step.
+func TestGracefulOnComposites(t *testing.T) {
+	r := rng.New(321)
+	successes, trials := 0, 0
+	for trials < 250 {
+		g, err := bipartite.RandomComposite(r, 1+r.Intn(3))
+		if err != nil || g.NumNodes() > 18 {
+			continue // keep the exhaustive oracle cheap
+		}
+		trials++
+		order, err := TheoreticalSchedule(g)
+		if err != nil {
+			// the heuristic must still schedule it validly
+			if verr := ValidateExecutionOrder(g, Prioritize(g).Order); verr != nil {
+				t.Fatalf("heuristic invalid on composite: %v", verr)
+			}
+			continue
+		}
+		successes++
+		best := optimalTrace(g)
+		theo, err := EligibilityTrace(g, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heur, err := EligibilityTrace(g, Prioritize(g).Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := range best {
+			if theo[x] != best[x] || heur[x] != best[x] {
+				t.Fatalf("composite: theo %d / heur %d vs optimum %d at step %d (arcs %v)",
+					theo[x], heur[x], best[x], x, g.Arcs())
+			}
+		}
+	}
+	if successes < 50 {
+		t.Fatalf("theoretical algorithm succeeded on only %d of %d composites", successes, trials)
+	}
+}
+
+func TestTheoreticalEmptyAndSingle(t *testing.T) {
+	if order, err := TheoreticalSchedule(dag.New()); err != nil || len(order) != 0 {
+		t.Fatalf("empty dag: %v, %v", order, err)
+	}
+	g := dag.New()
+	g.AddNode("x")
+	order, err := TheoreticalSchedule(g)
+	if err != nil || len(order) != 1 {
+		t.Fatalf("singleton: %v, %v", order, err)
+	}
+}
+
+func TestTheoreticalIsolatedPlusBlock(t *testing.T) {
+	g := build(t, []string{"lone", "a", "b", "c"}, "a>b", "a>c")
+	order, err := TheoreticalSchedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExecutionOrder(g, order); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,360 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// buildNamed creates a graph from arcs written as "a>b".
+func buildNamed(t testing.TB, nodes []string, arcs ...string) *Graph {
+	t.Helper()
+	g := New()
+	for _, n := range nodes {
+		g.AddNode(n)
+	}
+	for _, a := range arcs {
+		parts := strings.Split(a, ">")
+		if len(parts) != 2 {
+			t.Fatalf("bad arc spec %q", a)
+		}
+		u, v := g.IndexOf(parts[0]), g.IndexOf(parts[1])
+		if u < 0 || v < 0 {
+			t.Fatalf("unknown node in arc %q", a)
+		}
+		g.MustAddArc(u, v)
+	}
+	return g
+}
+
+// chain builds a path graph v0 -> v1 -> ... -> v(n-1).
+func chain(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.MustAddArc(i, i+1)
+	}
+	return g
+}
+
+func TestAddNodeDeduplicates(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	a2 := g.AddNode("a")
+	if a != a2 {
+		t.Fatalf("duplicate name returned new index %d != %d", a2, a)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", g.NumNodes())
+	}
+	if g.Name(b) != "b" || g.IndexOf("b") != b {
+		t.Fatal("name/index round trip broken")
+	}
+	if g.IndexOf("zzz") != -1 {
+		t.Fatal("IndexOf of unknown name should be -1")
+	}
+}
+
+func TestAddArcErrors(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	if err := g.AddArc(a, a); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddArc(a, b); err != nil {
+		t.Fatalf("first arc rejected: %v", err)
+	}
+	if err := g.AddArc(a, b); err == nil {
+		t.Fatal("duplicate arc accepted")
+	}
+	if g.NumArcs() != 1 {
+		t.Fatalf("NumArcs = %d, want 1", g.NumArcs())
+	}
+}
+
+func TestAddArcOutOfRangePanics(t *testing.T) {
+	g := New()
+	g.AddNode("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range node")
+		}
+	}()
+	_ = g.AddArc(0, 5)
+}
+
+func TestDegreesSourcesSinks(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b", "c", "d", "e"}, "a>b", "c>d", "c>e")
+	if got := g.Sources(); len(got) != 2 || g.Name(got[0]) != "a" || g.Name(got[1]) != "c" {
+		t.Fatalf("Sources = %v", got)
+	}
+	if got := g.Sinks(); len(got) != 3 {
+		t.Fatalf("Sinks = %v", got)
+	}
+	c := g.IndexOf("c")
+	if g.OutDegree(c) != 2 || g.InDegree(c) != 0 || !g.IsSource(c) || g.IsSink(c) {
+		t.Fatal("degree bookkeeping wrong for c")
+	}
+	d := g.IndexOf("d")
+	if !g.IsSink(d) || g.InDegree(d) != 1 {
+		t.Fatal("degree bookkeeping wrong for d")
+	}
+	if !g.HasArc(c, d) || g.HasArc(d, c) {
+		t.Fatal("HasArc wrong")
+	}
+}
+
+func TestTopoSortChain(t *testing.T) {
+	g := chain(10)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("chain topo order %v", order)
+		}
+	}
+	pos, err := g.TopoPositions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range pos {
+		if p != v {
+			t.Fatalf("TopoPositions %v", pos)
+		}
+	}
+}
+
+func TestTopoSortRespectsArcs(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b", "c", "d", "e", "f"},
+		"a>c", "b>c", "c>d", "c>e", "e>f", "b>f")
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, a := range g.Arcs() {
+		if pos[a.From] >= pos[a.To] {
+			t.Fatalf("arc %v violated in order %v", a, order)
+		}
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	g.MustAddArc(a, b)
+	g.MustAddArc(b, c)
+	g.MustAddArc(c, a)
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate missed cycle")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b", "c"}, "a>b", "b>c")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelsAndCriticalPath(t *testing.T) {
+	// diamond with a tail: a -> {b,c} -> d -> e
+	g := buildNamed(t, []string{"a", "b", "c", "d", "e"},
+		"a>b", "a>c", "b>d", "c>d", "d>e")
+	level, counts := g.Levels()
+	want := map[string]int{"a": 0, "b": 1, "c": 1, "d": 2, "e": 3}
+	for name, wl := range want {
+		if level[g.IndexOf(name)] != wl {
+			t.Fatalf("level(%s) = %d, want %d", name, level[g.IndexOf(name)], wl)
+		}
+	}
+	if len(counts) != 4 || counts[1] != 2 {
+		t.Fatalf("level counts = %v", counts)
+	}
+	if g.CriticalPathLength() != 4 {
+		t.Fatalf("CriticalPathLength = %d, want 4", g.CriticalPathLength())
+	}
+	if g.MaxLevelWidth() != 2 {
+		t.Fatalf("MaxLevelWidth = %d, want 2", g.MaxLevelWidth())
+	}
+}
+
+func TestLevelsEmpty(t *testing.T) {
+	g := New()
+	if g.CriticalPathLength() != 0 || g.MaxLevelWidth() != 0 {
+		t.Fatal("empty graph metrics should be zero")
+	}
+}
+
+func TestReachableAndHasPath(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b", "c", "d", "x"},
+		"a>b", "b>c", "a>d")
+	r := g.Reachable(g.IndexOf("a"))
+	if r.Count() != 4 || r.Contains(g.IndexOf("x")) {
+		t.Fatalf("Reachable(a) = %v", r)
+	}
+	if !g.HasPath(g.IndexOf("a"), g.IndexOf("c")) {
+		t.Fatal("path a->c missing")
+	}
+	if g.HasPath(g.IndexOf("c"), g.IndexOf("a")) {
+		t.Fatal("reverse path reported")
+	}
+	if g.HasPath(g.IndexOf("a"), g.IndexOf("a")) {
+		t.Fatal("HasPath(v,v) should be false without a cycle")
+	}
+	if g.HasPath(g.IndexOf("a"), g.IndexOf("x")) {
+		t.Fatal("path to isolated node reported")
+	}
+}
+
+func TestUndirectedComponents(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b", "c", "d", "e"}, "a>b", "c>d")
+	comp, n := g.UndirectedComponents()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[g.IndexOf("a")] != comp[g.IndexOf("b")] {
+		t.Fatal("a,b should share a component")
+	}
+	if comp[g.IndexOf("a")] == comp[g.IndexOf("c")] {
+		t.Fatal("a,c should differ")
+	}
+	if comp[g.IndexOf("e")] == comp[g.IndexOf("a")] || comp[g.IndexOf("e")] == comp[g.IndexOf("c")] {
+		t.Fatal("isolated node should be its own component")
+	}
+}
+
+func TestIsBipartiteDag(t *testing.T) {
+	bip := buildNamed(t, []string{"u1", "u2", "v1", "v2"}, "u1>v1", "u1>v2", "u2>v2")
+	if !bip.IsBipartiteDag() {
+		t.Fatal("two-level dag not recognized as bipartite")
+	}
+	three := buildNamed(t, []string{"a", "b", "c"}, "a>b", "b>c")
+	if three.IsBipartiteDag() {
+		t.Fatal("chain of 3 wrongly bipartite")
+	}
+	single := buildNamed(t, []string{"a"})
+	if single.IsBipartiteDag() {
+		t.Fatal("singleton wrongly bipartite")
+	}
+	if New().IsBipartiteDag() {
+		t.Fatal("empty graph wrongly bipartite")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b"}, "a>b")
+	c := g.Clone()
+	c.AddNode("z")
+	c.MustAddArc(c.IndexOf("b"), c.IndexOf("z"))
+	if g.NumNodes() != 2 || g.NumArcs() != 1 {
+		t.Fatal("mutating clone affected original")
+	}
+	if c.NumNodes() != 3 || c.NumArcs() != 2 {
+		t.Fatal("clone mutation lost")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b", "c"}, "a>b", "b>c")
+	r := g.Reverse()
+	if !r.HasArc(r.IndexOf("b"), r.IndexOf("a")) || !r.HasArc(r.IndexOf("c"), r.IndexOf("b")) {
+		t.Fatal("Reverse did not flip arcs")
+	}
+	if r.NumArcs() != 2 {
+		t.Fatalf("Reverse NumArcs = %d", r.NumArcs())
+	}
+	if !g.HasArc(g.IndexOf("a"), g.IndexOf("b")) {
+		t.Fatal("Reverse mutated original")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b", "c", "d"}, "a>b", "b>c", "c>d", "a>d")
+	sub, orig := g.InducedSubgraph([]int{g.IndexOf("a"), g.IndexOf("b"), g.IndexOf("d")})
+	if sub.NumNodes() != 3 {
+		t.Fatalf("sub nodes = %d", sub.NumNodes())
+	}
+	if sub.NumArcs() != 2 { // a>b and a>d survive; b>c and c>d do not
+		t.Fatalf("sub arcs = %d, want 2", sub.NumArcs())
+	}
+	if len(orig) != 3 || g.Name(orig[sub.IndexOf("b")]) != "b" {
+		t.Fatal("orig mapping broken")
+	}
+	// duplicate selection collapses
+	sub2, _ := g.InducedSubgraph([]int{0, 0, 1})
+	if sub2.NumNodes() != 2 {
+		t.Fatalf("duplicate nodes not collapsed: %d", sub2.NumNodes())
+	}
+}
+
+func TestArcsSorted(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b", "c"}, "b>c", "a>c", "a>b")
+	arcs := g.Arcs()
+	for i := 1; i < len(arcs); i++ {
+		if arcs[i-1].From > arcs[i].From ||
+			(arcs[i-1].From == arcs[i].From && arcs[i-1].To >= arcs[i].To) {
+			t.Fatalf("arcs not sorted: %v", arcs)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b"}, "a>b")
+	dot := g.DOT("t", func(v int) string {
+		if g.Name(v) == "a" {
+			return "color=red"
+		}
+		return ""
+	})
+	for _, want := range []string{"digraph \"t\"", `"a" [color=red];`, `"a" -> "b";`} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b", "c", "d", "e"},
+		"a>b", "a>c", "b>d", "c>d")
+	s := g.ComputeStats()
+	if s.Nodes != 5 || s.Arcs != 4 || s.Sources != 2 || s.Sinks != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.CriticalPath != 3 || s.MaxOutDegree != 2 || s.MaxInDegree != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.UndirectedComponents != 2 {
+		t.Fatalf("components = %d", s.UndirectedComponents)
+	}
+	if !strings.Contains(s.String(), "nodes=5") {
+		t.Fatal("Stats.String missing fields")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b", "c"}, "a>b", "a>c")
+	h := g.DegreeHistogram()
+	if len(h) != 3 || h[0] != 2 || h[2] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	g := buildNamed(t, []string{"z", "a", "m"})
+	got := g.SortedNames()
+	if got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Fatalf("SortedNames = %v", got)
+	}
+}

@@ -1,0 +1,97 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. Arcs are oriented
+// parent -> child. An optional attribute function may decorate nodes
+// (e.g. with the priority assigned by the scheduler); it may return ""
+// for no attributes.
+func (g *Graph) DOT(name string, nodeAttrs func(v int) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=BT;\n") // paper draws arcs oriented upward
+	for v := 0; v < g.NumNodes(); v++ {
+		attrs := ""
+		if nodeAttrs != nil {
+			attrs = nodeAttrs(v)
+		}
+		if attrs != "" {
+			fmt.Fprintf(&b, "  %q [%s];\n", g.names[v], attrs)
+		} else {
+			fmt.Fprintf(&b, "  %q;\n", g.names[v])
+		}
+	}
+	for _, a := range g.Arcs() {
+		fmt.Fprintf(&b, "  %q -> %q;\n", g.names[a.From], g.names[a.To])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Stats summarizes a graph's structure; used by cmd/overhead and the
+// workload self-checks.
+type Stats struct {
+	Nodes, Arcs          int
+	Sources, Sinks       int
+	CriticalPath         int // nodes on a longest path
+	MaxLevelWidth        int
+	MaxOutDegree         int
+	MaxInDegree          int
+	UndirectedComponents int
+}
+
+// ComputeStats returns structural statistics for the graph.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		Nodes:   g.NumNodes(),
+		Arcs:    g.NumArcs(),
+		Sources: len(g.Sources()),
+		Sinks:   len(g.Sinks()),
+	}
+	if s.Nodes > 0 {
+		s.CriticalPath = g.CriticalPathLength()
+		s.MaxLevelWidth = g.MaxLevelWidth()
+		_, s.UndirectedComponents = g.UndirectedComponents()
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.OutDegree(v); d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+		if d := g.InDegree(v); d > s.MaxInDegree {
+			s.MaxInDegree = d
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d arcs=%d sources=%d sinks=%d critpath=%d width=%d maxout=%d maxin=%d components=%d",
+		s.Nodes, s.Arcs, s.Sources, s.Sinks, s.CriticalPath, s.MaxLevelWidth, s.MaxOutDegree, s.MaxInDegree, s.UndirectedComponents)
+}
+
+// DegreeHistogram returns counts of out-degrees (index = degree).
+func (g *Graph) DegreeHistogram() []int {
+	max := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.OutDegree(v); d > max {
+			max = d
+		}
+	}
+	h := make([]int, max+1)
+	for v := 0; v < g.NumNodes(); v++ {
+		h[g.OutDegree(v)]++
+	}
+	return h
+}
+
+// SortedNames returns the node names in lexicographic order (handy for
+// deterministic test assertions).
+func (g *Graph) SortedNames() []string {
+	out := append([]string(nil), g.names...)
+	sort.Strings(out)
+	return out
+}

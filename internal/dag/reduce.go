@@ -1,0 +1,120 @@
+package dag
+
+// Shortcut removal (Step 1 of both the theoretical algorithm and the
+// heuristic): an arc (u -> v) is a shortcut when v is reachable from u
+// without using the arc. Shortcuts never change which jobs are eligible,
+// but they obscure the bipartite building blocks, so the Divide phase
+// removes them first. For dags, removing all shortcuts is exactly the
+// transitive reduction (Aho-Garey-Ullman; Hsu), which is unique.
+
+// ShortcutArcs returns every shortcut arc of g, sorted by (From, To).
+//
+// The algorithm processes each node u and asks which children of u are
+// reachable from another child by a nonempty path. Children are scanned
+// in topological order; a DFS from each child marks its descendants, and
+// a child found already marked is a shortcut target. The DFS is pruned at
+// nodes whose topological position exceeds that of u's last child, since
+// such nodes cannot lie on a path to any child of u.
+func (g *Graph) ShortcutArcs() []Arc {
+	pos, err := g.TopoPositions()
+	if err != nil {
+		panic(err)
+	}
+	n := g.NumNodes()
+	// visited[v] == stamp means v was marked during the current u's scan.
+	visited := make([]int, n)
+	for i := range visited {
+		visited[i] = -1
+	}
+	stack := make([]int, 0, 64)
+	var shortcuts []Arc
+
+	for u := 0; u < n; u++ {
+		kids := g.children[u]
+		if len(kids) < 2 {
+			continue // a single arc cannot be a shortcut of itself
+		}
+		// Children in ascending topological order: any child reachable
+		// from another child must come later in topo order, so by the
+		// time we visit it, the DFS of the earlier child has marked it.
+		order := append([]int(nil), kids...)
+		insertionSortByPos(order, pos)
+		maxPos := pos[order[len(order)-1]]
+
+		stamp := u
+		for _, c := range order {
+			if visited[c] == stamp {
+				shortcuts = append(shortcuts, Arc{u, c})
+				continue // descendants of c are already being marked via the earlier child
+			}
+			// DFS from c, marking descendants; prune beyond maxPos.
+			visited[c] = stamp
+			stack = append(stack[:0], c)
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, w := range g.children[x] {
+					if visited[w] == stamp || pos[w] > maxPos {
+						continue
+					}
+					visited[w] = stamp
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	sortArcs(shortcuts)
+	return shortcuts
+}
+
+func insertionSortByPos(xs []int, pos []int) {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && pos[xs[j]] > pos[x] {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
+}
+
+func sortArcs(arcs []Arc) {
+	// insertion sort is fine: shortcut lists are short in practice, and
+	// the slice arrives almost sorted (outer loop is by From).
+	for i := 1; i < len(arcs); i++ {
+		a := arcs[i]
+		j := i - 1
+		for j >= 0 && (arcs[j].From > a.From || (arcs[j].From == a.From && arcs[j].To > a.To)) {
+			arcs[j+1] = arcs[j]
+			j--
+		}
+		arcs[j+1] = a
+	}
+}
+
+// TransitiveReduction returns a copy of g with every shortcut arc removed,
+// together with the list of removed arcs. Node indices and names are
+// preserved.
+func (g *Graph) TransitiveReduction() (*Graph, []Arc) {
+	shortcuts := g.ShortcutArcs()
+	if len(shortcuts) == 0 {
+		return g.Clone(), nil
+	}
+	drop := make(map[Arc]bool, len(shortcuts))
+	for _, a := range shortcuts {
+		drop[a] = true
+	}
+	r := NewWithCapacity(g.NumNodes())
+	for _, name := range g.names {
+		r.AddNode(name)
+	}
+	for u := range g.names {
+		for _, v := range g.children[u] {
+			if !drop[Arc{u, v}] {
+				r.MustAddArc(u, v)
+			}
+		}
+	}
+	return r, shortcuts
+}

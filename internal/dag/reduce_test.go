@@ -1,0 +1,233 @@
+package dag
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestShortcutSimpleTriangle(t *testing.T) {
+	// a -> b -> c plus the shortcut a -> c.
+	g := buildNamed(t, []string{"a", "b", "c"}, "a>b", "b>c", "a>c")
+	sc := g.ShortcutArcs()
+	if len(sc) != 1 || sc[0] != (Arc{g.IndexOf("a"), g.IndexOf("c")}) {
+		t.Fatalf("shortcuts = %v", sc)
+	}
+	r, removed := g.TransitiveReduction()
+	if len(removed) != 1 || r.NumArcs() != 2 {
+		t.Fatalf("reduction left %d arcs, removed %v", r.NumArcs(), removed)
+	}
+	if r.HasArc(g.IndexOf("a"), g.IndexOf("c")) {
+		t.Fatal("shortcut survived reduction")
+	}
+}
+
+func TestShortcutNone(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b", "c", "d"}, "a>b", "a>c", "b>d", "c>d")
+	if sc := g.ShortcutArcs(); len(sc) != 0 {
+		t.Fatalf("diamond has no shortcuts, got %v", sc)
+	}
+	r, _ := g.TransitiveReduction()
+	if r.NumArcs() != g.NumArcs() {
+		t.Fatal("reduction changed a reduced graph")
+	}
+}
+
+func TestShortcutLongPath(t *testing.T) {
+	// chain of 6 plus a long shortcut 0 -> 5 and a medium one 1 -> 4.
+	g := chain(6)
+	g.MustAddArc(0, 5)
+	g.MustAddArc(1, 4)
+	sc := g.ShortcutArcs()
+	if len(sc) != 2 {
+		t.Fatalf("shortcuts = %v, want two", sc)
+	}
+	want := map[Arc]bool{{0, 5}: true, {1, 4}: true}
+	for _, a := range sc {
+		if !want[a] {
+			t.Fatalf("unexpected shortcut %v", a)
+		}
+	}
+}
+
+func TestShortcutDiamondPlusDirect(t *testing.T) {
+	// a -> b -> d, a -> c -> d, a -> d (shortcut).
+	g := buildNamed(t, []string{"a", "b", "c", "d"},
+		"a>b", "a>c", "b>d", "c>d", "a>d")
+	sc := g.ShortcutArcs()
+	if len(sc) != 1 || sc[0] != (Arc{g.IndexOf("a"), g.IndexOf("d")}) {
+		t.Fatalf("shortcuts = %v", sc)
+	}
+}
+
+func TestShortcutChainOfShortcuts(t *testing.T) {
+	// Complete dag on 5 nodes: only the chain survives.
+	g := New()
+	for i := 0; i < 5; i++ {
+		g.AddNode(fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.MustAddArc(i, j)
+		}
+	}
+	r, removed := g.TransitiveReduction()
+	if r.NumArcs() != 4 {
+		t.Fatalf("complete dag reduced to %d arcs, want 4", r.NumArcs())
+	}
+	if len(removed) != g.NumArcs()-4 {
+		t.Fatalf("removed %d arcs, want %d", len(removed), g.NumArcs()-4)
+	}
+	for i := 0; i < 4; i++ {
+		if !r.HasArc(i, i+1) {
+			t.Fatalf("chain arc %d->%d missing", i, i+1)
+		}
+	}
+}
+
+func TestReductionPreservesNamesAndNodes(t *testing.T) {
+	g := buildNamed(t, []string{"x", "y", "z"}, "x>y", "y>z", "x>z")
+	r, _ := g.TransitiveReduction()
+	if r.NumNodes() != 3 || r.Name(1) != "y" || r.IndexOf("z") != g.IndexOf("z") {
+		t.Fatal("reduction broke node identity")
+	}
+}
+
+// randomDag builds a random dag: arcs only from lower to higher index.
+func randomDag(r *rng.Source, n int, p float64) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.MustAddArc(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// reachabilityMatrix computes pairwise reachability by DFS from each node.
+func reachabilityMatrix(g *Graph) [][]bool {
+	n := g.NumNodes()
+	m := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		m[v] = make([]bool, n)
+		set := g.Reachable(v)
+		set.ForEach(func(u int) bool {
+			m[v][u] = true
+			return true
+		})
+	}
+	return m
+}
+
+// Property: the reduction preserves reachability exactly.
+func TestQuickReductionPreservesReachability(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(24)
+		g := randomDag(r, n, 0.3)
+		red, _ := g.TransitiveReduction()
+		mg, mr := reachabilityMatrix(g), reachabilityMatrix(red)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if mg[i][j] != mr[i][j] {
+					t.Fatalf("trial %d: reachability differs at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Property: the reduction is minimal — removing any surviving arc changes
+// reachability.
+func TestQuickReductionMinimal(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(14)
+		g := randomDag(r, n, 0.35)
+		red, _ := g.TransitiveReduction()
+		for _, a := range red.Arcs() {
+			// Drop arc a and check u can no longer reach v.
+			var arcs []Arc
+			for _, b := range red.Arcs() {
+				if b != a {
+					arcs = append(arcs, b)
+				}
+			}
+			h := New()
+			for i := 0; i < n; i++ {
+				h.AddNode(fmt.Sprintf("n%d", i))
+			}
+			for _, b := range arcs {
+				h.MustAddArc(b.From, b.To)
+			}
+			if h.HasPath(a.From, a.To) {
+				t.Fatalf("trial %d: arc %v is redundant after reduction", trial, a)
+			}
+		}
+	}
+}
+
+// Property: the reduction is idempotent.
+func TestQuickReductionIdempotent(t *testing.T) {
+	r := rng.New(21)
+	for trial := 0; trial < 30; trial++ {
+		g := randomDag(r, 2+r.Intn(20), 0.3)
+		red, _ := g.TransitiveReduction()
+		red2, removed := red.TransitiveReduction()
+		if len(removed) != 0 || red2.NumArcs() != red.NumArcs() {
+			t.Fatalf("trial %d: reduction not idempotent", trial)
+		}
+	}
+}
+
+// Property (testing/quick): a shortcut-free random tree stays untouched.
+func TestQuickTreeHasNoShortcuts(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(40)
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddNode(fmt.Sprintf("n%d", i))
+		}
+		for i := 1; i < n; i++ {
+			g.MustAddArc(r.Intn(i), i) // random parent forms a forest
+		}
+		return len(g.ShortcutArcs()) == 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 50}
+}
+
+func BenchmarkTransitiveReductionLayered(b *testing.B) {
+	r := rng.New(5)
+	g := randomDag(r, 400, 0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.TransitiveReduction()
+	}
+}
+
+func BenchmarkTopoSort(b *testing.B) {
+	r := rng.New(5)
+	g := randomDag(r, 2000, 0.005)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopoSort(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

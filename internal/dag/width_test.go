@@ -1,0 +1,180 @@
+package dag
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWidthChain(t *testing.T) {
+	g := chain(6)
+	w, anti, err := g.Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 || len(anti) != 1 {
+		t.Fatalf("chain width = %d (%v)", w, anti)
+	}
+}
+
+func TestWidthIndependent(t *testing.T) {
+	g := New()
+	for i := 0; i < 7; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	w, anti, err := g.Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 7 || len(anti) != 7 {
+		t.Fatalf("independent width = %d", w)
+	}
+}
+
+func TestWidthDiamond(t *testing.T) {
+	g := buildNamed(t, []string{"a", "b", "c", "d"}, "a>b", "a>c", "b>d", "c>d")
+	w, anti, err := g.Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Fatalf("diamond width = %d, want 2", w)
+	}
+	if len(anti) != 2 || g.Name(anti[0]) != "b" || g.Name(anti[1]) != "c" {
+		t.Fatalf("antichain = %v", anti)
+	}
+}
+
+func TestWidthEmptyAndLimit(t *testing.T) {
+	w, anti, err := New().Width()
+	if err != nil || w != 0 || anti != nil {
+		t.Fatalf("empty width = %d, %v, %v", w, anti, err)
+	}
+	big := New()
+	for i := 0; i <= MaxWidthNodes; i++ {
+		big.AddNode(string(rune('a')) + itoa(i))
+	}
+	if _, _, err := big.Width(); err == nil {
+		t.Fatal("oversized dag accepted")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// bruteWidth enumerates all antichains for tiny dags.
+func bruteWidth(g *Graph) int {
+	n := g.NumNodes()
+	comparable := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		comparable[u] = make([]bool, n)
+	}
+	for u := 0; u < n; u++ {
+		r := g.Reachable(u)
+		r.ForEach(func(v int) bool {
+			if v != u {
+				comparable[u][v] = true
+				comparable[v][u] = true
+			}
+			return true
+		})
+	}
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		size := 0
+		var members []int
+		for v := 0; v < n && ok; v++ {
+			if mask&(1<<v) == 0 {
+				continue
+			}
+			for _, u := range members {
+				if comparable[u][v] {
+					ok = false
+					break
+				}
+			}
+			members = append(members, v)
+			size++
+		}
+		if ok && size > best {
+			best = size
+		}
+	}
+	return best
+}
+
+func TestWidthAgainstBruteForce(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 60; trial++ {
+		g := randomDag(r, 2+r.Intn(11), 0.3)
+		w, anti, err := g.Width()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteWidth(g); w != want {
+			t.Fatalf("trial %d: width %d, brute %d", trial, w, want)
+		}
+		// returned set must actually be an antichain
+		for i, u := range anti {
+			for _, v := range anti[i+1:] {
+				if g.HasPath(u, v) || g.HasPath(v, u) {
+					t.Fatalf("trial %d: %d and %d comparable in antichain", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+// The paper calls the 3w+23-job fMRI dag "AIRSN of width w"; its true
+// Dilworth width is w+1 (one cover plus a handle or join job is the
+// largest antichain... verified here for the exact generator shape via
+// the workloads package in its own tests; here we pin a structural
+// example built by hand).
+func TestWidthForkWithFringes(t *testing.T) {
+	// fork f -> c0..c3, fringes g0..g3 -> c0..c3 (AIRSN's first cover
+	// in miniature): antichain = fringes + fork = 5.
+	g := New()
+	f := g.AddNode("f")
+	var fr, cv [4]int
+	for i := 0; i < 4; i++ {
+		fr[i] = g.AddNode("g" + itoa(i))
+		cv[i] = g.AddNode("c" + itoa(i))
+		g.MustAddArc(f, cv[i])
+		g.MustAddArc(fr[i], cv[i])
+	}
+	w, _, err := g.Width()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 5 {
+		t.Fatalf("width = %d, want 5 (4 fringes + the fork)", w)
+	}
+}
+
+func BenchmarkWidthAIRSNLike(b *testing.B) {
+	g := New()
+	f := g.AddNode("f")
+	for i := 0; i < 250; i++ {
+		fr := g.AddNode("g" + itoa(i))
+		cv := g.AddNode("c" + itoa(i))
+		g.MustAddArc(f, cv)
+		g.MustAddArc(fr, cv)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.Width(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package dagman reads and writes Condor DAGMan input files and job
+// submit description files (JSDFs), and instruments them with job
+// priorities the way the prio tool does (Section 3.2): a
+//
+//	VARS <job> jobpriority="<n>"
+//
+// line per job in the DAGMan file, and a
+//
+//	priority = $(jobpriority)
+//
+// attribute in each JSDF. The indirection through the jobpriority macro
+// is deliberate — a single JSDF may be shared by jobs of several DAGMan
+// files needing different priorities.
+package dagman
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// Job is one JOB statement.
+type Job struct {
+	Name       string
+	SubmitFile string
+	// Extra preserves trailing tokens (DIR <d>, NOOP, DONE).
+	Extra []string
+}
+
+// Dep is one parent -> child dependency.
+type Dep struct{ Parent, Child string }
+
+// lineKind tags a preserved input line.
+type lineKind int
+
+const (
+	lineOther lineKind = iota // comments, blanks, CONFIG, RETRY, ...
+	lineJob                   // JOB statement; jobIdx set
+	lineDep                   // PARENT ... CHILD ...
+	lineVars                  // VARS statement; varsJob set
+)
+
+type line struct {
+	raw     string
+	kind    lineKind
+	jobIdx  int
+	varsJob string
+}
+
+// File is a parsed DAGMan input file. It preserves enough of the
+// original text to write an instrumented copy that differs only by the
+// added or updated priority lines.
+type File struct {
+	Jobs []Job
+	Deps []Dep
+	// Splices lists SPLICE statements; resolve them with Flatten before
+	// building the dependency graph.
+	Splices []Splice
+	lines   []line
+	index   map[string]int // job name -> Jobs index
+}
+
+// Parse reads a DAGMan input file.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{index: make(map[string]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		if err := f.addLine(raw, lineNo); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dagman: read: %w", err)
+	}
+	return f, nil
+}
+
+// ParseFile reads a DAGMan input file from disk.
+func ParseFile(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dagman: %w", err)
+	}
+	defer fh.Close()
+	return Parse(fh)
+}
+
+func (f *File) addLine(raw string, lineNo int) error {
+	fields := strings.Fields(raw)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		f.lines = append(f.lines, line{raw: raw})
+		return nil
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "JOB":
+		if len(fields) < 3 {
+			return fmt.Errorf("dagman: line %d: JOB needs a name and a submit file", lineNo)
+		}
+		name := fields[1]
+		if _, dup := f.index[name]; dup {
+			return fmt.Errorf("dagman: line %d: duplicate job %q", lineNo, name)
+		}
+		for _, s := range f.Splices {
+			if s.Name == name {
+				return fmt.Errorf("dagman: line %d: job %q collides with a splice name", lineNo, name)
+			}
+		}
+		f.index[name] = len(f.Jobs)
+		f.Jobs = append(f.Jobs, Job{Name: name, SubmitFile: fields[2], Extra: fields[3:]})
+		f.lines = append(f.lines, line{raw: raw, kind: lineJob, jobIdx: len(f.Jobs) - 1})
+	case "PARENT":
+		childAt := -1
+		for i, tok := range fields {
+			if strings.EqualFold(tok, "CHILD") {
+				childAt = i
+				break
+			}
+		}
+		if childAt < 2 || childAt == len(fields)-1 {
+			return fmt.Errorf("dagman: line %d: PARENT ... CHILD ... malformed", lineNo)
+		}
+		parents := fields[1:childAt]
+		children := fields[childAt+1:]
+		for _, p := range parents {
+			for _, c := range children {
+				f.Deps = append(f.Deps, Dep{Parent: p, Child: c})
+			}
+		}
+		f.lines = append(f.lines, line{raw: raw, kind: lineDep})
+	case "VARS":
+		if len(fields) < 3 {
+			return fmt.Errorf("dagman: line %d: VARS needs a job and an assignment", lineNo)
+		}
+		f.lines = append(f.lines, line{raw: raw, kind: lineVars, varsJob: fields[1]})
+	case "SPLICE":
+		return f.parseSplice(fields, raw, lineNo)
+	default:
+		// RETRY, SCRIPT, CONFIG, DOT, MAXJOBS, PRIORITY, ... preserved.
+		f.lines = append(f.lines, line{raw: raw})
+	}
+	return nil
+}
+
+// Job returns the named job, if declared.
+func (f *File) Job(name string) (Job, bool) {
+	i, ok := f.index[name]
+	if !ok {
+		return Job{}, false
+	}
+	return f.Jobs[i], true
+}
+
+// Graph builds the dependency dag: one node per JOB in declaration
+// order, one arc per PARENT/CHILD pair. Dependencies naming undeclared
+// jobs are errors; duplicate dependencies are tolerated (DAGMan accepts
+// them) and collapsed.
+func (f *File) Graph() (*dag.Graph, error) {
+	if len(f.Splices) > 0 {
+		return nil, fmt.Errorf("dagman: file contains %d unresolved SPLICE statements; call Flatten first", len(f.Splices))
+	}
+	g := dag.NewWithCapacity(len(f.Jobs))
+	for _, j := range f.Jobs {
+		g.AddNode(j.Name)
+	}
+	for _, d := range f.Deps {
+		u, v := g.IndexOf(d.Parent), g.IndexOf(d.Child)
+		if u < 0 {
+			return nil, fmt.Errorf("dagman: dependency names undeclared job %q", d.Parent)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("dagman: dependency names undeclared job %q", d.Child)
+		}
+		if g.HasArc(u, v) {
+			continue
+		}
+		if err := g.AddArc(u, v); err != nil {
+			return nil, fmt.Errorf("dagman: %w", err)
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return nil, fmt.Errorf("dagman: dependencies are cyclic: %w", err)
+	}
+	return g, nil
+}
+
+// Instrument returns the text of the DAGMan file with a
+// VARS <job> jobpriority="<n>" line for every job in priorities.
+// Existing jobpriority VARS lines are replaced in place; jobs without an
+// existing line get one immediately after their JOB statement, which is
+// where Fig. 3 shows them.
+func (f *File) Instrument(priorities map[string]int) string {
+	covered := make(map[string]bool, len(priorities))
+	var b strings.Builder
+	for _, ln := range f.lines {
+		switch ln.kind {
+		case lineVars:
+			if p, ok := priorities[ln.varsJob]; ok && strings.Contains(ln.raw, "jobpriority") {
+				fmt.Fprintf(&b, "Vars %s jobpriority=\"%d\"\n", ln.varsJob, p)
+				covered[ln.varsJob] = true
+				continue
+			}
+			b.WriteString(ln.raw)
+			b.WriteByte('\n')
+		case lineJob:
+			b.WriteString(ln.raw)
+			b.WriteByte('\n')
+			name := f.Jobs[ln.jobIdx].Name
+			if p, ok := priorities[name]; ok && !covered[name] && !f.hasJobpriorityVars(name) {
+				fmt.Fprintf(&b, "Vars %s jobpriority=\"%d\"\n", name, p)
+				covered[name] = true
+			}
+		default:
+			b.WriteString(ln.raw)
+			b.WriteByte('\n')
+		}
+	}
+	// Jobs named in priorities but absent from the file are appended so
+	// the output is at least self-consistent; callers normally derive
+	// priorities from this very file, making this a no-op.
+	var missing []string
+	for name := range priorities {
+		if _, declared := f.index[name]; declared {
+			continue
+		}
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(&b, "Vars %s jobpriority=\"%d\"\n", name, priorities[name])
+	}
+	return b.String()
+}
+
+func (f *File) hasJobpriorityVars(job string) bool {
+	for _, ln := range f.lines {
+		if ln.kind == lineVars && ln.varsJob == job && strings.Contains(ln.raw, "jobpriority") {
+			return true
+		}
+	}
+	return false
+}
+
+// String reproduces the file text as parsed.
+func (f *File) String() string {
+	var b strings.Builder
+	for _, ln := range f.lines {
+		b.WriteString(ln.raw)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FromGraph renders a dag as a DAGMan input file, one JOB per node (in
+// node order, so parsing the result reproduces the node numbering) and
+// one PARENT/CHILD line per node with children. submitFile names each
+// job's JSDF; if nil, "<name>.sub" is used.
+func FromGraph(g *dag.Graph, submitFile func(name string) string) *File {
+	if submitFile == nil {
+		submitFile = func(name string) string { return name + ".sub" }
+	}
+	var b strings.Builder
+	for v := 0; v < g.NumNodes(); v++ {
+		fmt.Fprintf(&b, "Job %s %s\n", g.Name(v), submitFile(g.Name(v)))
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		children := g.Children(v)
+		if len(children) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "Parent %s Child", g.Name(v))
+		for _, c := range children {
+			fmt.Fprintf(&b, " %s", g.Name(c))
+		}
+		b.WriteByte('\n')
+	}
+	f, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		panic(fmt.Sprintf("dagman: FromGraph produced unparseable text: %v", err))
+	}
+	return f
+}

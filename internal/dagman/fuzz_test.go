@@ -1,0 +1,64 @@
+package dagman
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the DAGMan parser with arbitrary input: it must
+// never panic, and any file it accepts must round-trip through String
+// to an equivalent parse (same jobs, same dependency count).
+func FuzzParse(f *testing.F) {
+	f.Add("Job a a.sub\nParent a Child b\n")
+	f.Add(fig3Text)
+	f.Add("# comment only\n\n")
+	f.Add("Splice s other.dag\nJob x x.sub\nParent s Child x\n")
+	f.Add("Vars a key=\"v\"\nJOB a a.sub\nRETRY a 2\nPARENT a b CHILD c d e\n")
+	f.Add("job A 1 DIR /x NOOP DONE\nparent A child A\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		file, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		again, err := Parse(strings.NewReader(file.String()))
+		if err != nil {
+			t.Fatalf("accepted file failed to re-parse: %v\ninput: %q", err, input)
+		}
+		if len(again.Jobs) != len(file.Jobs) || len(again.Deps) != len(file.Deps) || len(again.Splices) != len(file.Splices) {
+			t.Fatalf("round trip changed shape: %d/%d jobs, %d/%d deps",
+				len(file.Jobs), len(again.Jobs), len(file.Deps), len(again.Deps))
+		}
+		// Building the graph must never panic either (errors are fine).
+		if len(file.Splices) == 0 {
+			if g, err := file.Graph(); err == nil {
+				if err := g.Validate(); err != nil {
+					t.Fatalf("accepted graph invalid: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseSubmit does the same for the JSDF parser and its
+// instrumentation.
+func FuzzParseSubmit(f *testing.F) {
+	f.Add("executable = w\nqueue\n")
+	f.Add("priority = 4\n")
+	f.Add("# c\n = broken\nQUEUE 10\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseSubmit(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		s.InstrumentPriority()
+		v, ok := s.Attribute("priority")
+		if !ok || v != "$(jobpriority)" {
+			t.Fatalf("instrumentation failed on %q: %q %v", input, v, ok)
+		}
+		before := s.String()
+		s.InstrumentPriority()
+		if s.String() != before {
+			t.Fatalf("instrumentation not idempotent on %q", input)
+		}
+	})
+}

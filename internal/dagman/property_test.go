@@ -1,0 +1,91 @@
+package dagman
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+func randomDag(r *rng.Source, n int, p float64) *dag.Graph {
+	g := dag.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("job%d", i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.MustAddArc(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Property: FromGraph -> String -> Parse -> Graph is the identity on
+// structure for random dags.
+func TestQuickRoundTripPreservesStructure(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := randomDag(r, 1+r.Intn(30), 0.2)
+		f1 := FromGraph(g, nil)
+		f2, err := Parse(strings.NewReader(f1.String()))
+		if err != nil {
+			return false
+		}
+		g2, err := f2.Graph()
+		if err != nil {
+			return false
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumArcs() != g.NumArcs() {
+			return false
+		}
+		for _, a := range g.Arcs() {
+			if !g2.HasArc(a.From, a.To) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: instrumenting with the prio priorities keeps the file
+// parseable with the same dag, assigns every declared job exactly one
+// jobpriority line, and is idempotent.
+func TestQuickInstrumentSound(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := randomDag(r, 1+r.Intn(20), 0.25)
+		file := FromGraph(g, nil)
+		s := core.Prioritize(g)
+		prios := make(map[string]int, g.NumNodes())
+		for v := 0; v < g.NumNodes(); v++ {
+			prios[g.Name(v)] = s.Priority[v]
+		}
+		text := file.Instrument(prios)
+		if strings.Count(text, "jobpriority") != g.NumNodes() {
+			return false
+		}
+		f2, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return false
+		}
+		g2, err := f2.Graph()
+		if err != nil || g2.NumArcs() != g.NumArcs() {
+			return false
+		}
+		// idempotence
+		text2 := f2.Instrument(prios)
+		return strings.Count(text2, "jobpriority") == g.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

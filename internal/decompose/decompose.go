@@ -1,0 +1,416 @@
+// Package decompose implements the Divide phase of the scheduling
+// heuristic (Section 3.1, Steps 1-2): shortcut removal, the generalized
+// decomposition of a dag into connected components C(s) grown from
+// sources by the BFS-like closure of the paper, and the construction of
+// the superdag that records how the components compose.
+//
+// Two decomposition paths are provided, mirroring the engineering of
+// Section 3.5: a fast path that detaches every maximal connected
+// bipartite building block whose sources are sources of the remnant (for
+// these, containment-minimality is automatic), and a general path that
+// computes the full closure C(s) for each source and detaches one
+// containment-minimal component per round. The fast path alone reduced
+// the paper's SDSS decomposition from days to minutes.
+package decompose
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+)
+
+// Component is one detached piece of the dag, in detachment order.
+type Component struct {
+	// Index is the component's position in detachment order.
+	Index int
+	// Nodes holds the original node ids of every job in the component,
+	// ascending. A job can appear in two components: as a sink of an
+	// earlier one and again in a later one (where it is eventually
+	// executed or deferred as a dag sink).
+	Nodes []int
+	// Sub is the subgraph induced by Nodes on the shortcut-free dag;
+	// Orig maps Sub's node indices back to original ids.
+	Sub  *dag.Graph
+	Orig []int
+	// NonSinkCount is the number of jobs of Sub that have children
+	// within Sub — the jobs that the component's schedule executes.
+	NonSinkCount int
+	// Bipartite records whether the component is a two-level dag (every
+	// internal arc runs source -> sink).
+	Bipartite bool
+	// FastPath records whether the component was detached by the
+	// bipartite fast path — i.e. it is a maximal connected bipartite
+	// building block in the sense of the theoretical algorithm
+	// (Section 2.2 Step 2). A component can be Bipartite but not
+	// FastPath when the general closure happened to produce a two-level
+	// dag in a round where the strict decomposition would have failed.
+	FastPath bool
+}
+
+// Result is the outcome of decomposition.
+type Result struct {
+	// Reduced is the input dag with all shortcut arcs removed (Step 1);
+	// Shortcuts lists the removed arcs.
+	Reduced   *dag.Graph
+	Shortcuts []dag.Arc
+	// Components lists the detached components in detachment order.
+	Components []*Component
+	// Super is the superdag: node i is component i (named "Ci"); an arc
+	// Ci -> Cj records that a sink of Ci reappears in Cj, so Cj cannot
+	// start before Ci.
+	Super *dag.Graph
+	// ScheduledIn[v] is the index of the component whose schedule
+	// executes job v, or -1 when v is a sink of the whole dag (executed
+	// in the final phase).
+	ScheduledIn []int
+}
+
+// Options tunes the decomposition; the zero value is the production
+// configuration.
+type Options struct {
+	// DisableFastPath forces the general containment-minimal search for
+	// every component, as the pre-Section-3.5 implementation did. Used
+	// by the ablation benchmarks.
+	DisableFastPath bool
+}
+
+// Decompose runs Steps 1-2 of the heuristic on g with default options.
+func Decompose(g *dag.Graph) *Result { return DecomposeOpts(g, Options{}) }
+
+// DecomposeOpts runs Steps 1-2 of the heuristic on g.
+func DecomposeOpts(g *dag.Graph, opts Options) *Result {
+	reduced, shortcuts := g.TransitiveReduction()
+	d := &decomposer{
+		g:        reduced,
+		alive:    make([]bool, reduced.NumNodes()),
+		inAlive:  make([]int, reduced.NumNodes()),
+		outAlive: make([]int, reduced.NumNodes()),
+		owner:    make([]int, reduced.NumNodes()),
+		result: &Result{
+			Reduced:     reduced,
+			Shortcuts:   shortcuts,
+			Super:       dag.New(),
+			ScheduledIn: make([]int, reduced.NumNodes()),
+		},
+		fastPath: !opts.DisableFastPath,
+	}
+	for v := 0; v < reduced.NumNodes(); v++ {
+		d.alive[v] = true
+		d.inAlive[v] = reduced.InDegree(v)
+		d.outAlive[v] = reduced.OutDegree(v)
+		d.owner[v] = -1
+		d.result.ScheduledIn[v] = -1
+	}
+	d.aliveCount = reduced.NumNodes()
+	d.run()
+	return d.result
+}
+
+type decomposer struct {
+	g          *dag.Graph
+	alive      []bool
+	inAlive    []int // number of alive parents
+	outAlive   []int // number of alive children
+	owner      []int // last component that contained the node, or -1
+	aliveCount int
+	fastPath   bool
+	result     *Result
+}
+
+func (d *decomposer) run() {
+	for d.aliveCount > 0 {
+		sources := d.currentSources()
+		if len(sources) == 0 {
+			panic("decompose: nonempty remnant without sources (cycle?)")
+		}
+		if d.fastPath {
+			if blocks := d.bipartiteBlocks(sources); len(blocks) > 0 {
+				for _, b := range blocks {
+					d.detach(b, true, true)
+				}
+				continue
+			}
+		}
+		b := d.minimalClosure(sources)
+		d.detach(b, d.isBipartiteSet(b), false)
+	}
+	d.addDependencyArcs()
+}
+
+// addDependencyArcs completes the superdag with execution-order
+// constraints that the shared-node (composition) arcs alone can miss: an
+// interior non-sink of a component may have children outside it, and
+// those children are executed by later components that need not share
+// any node with it. For every reduced arc p -> v whose endpoints are
+// scheduled in different components, the parent's component must precede
+// the child's. All such arcs point from an earlier-detached component to
+// a later one, so the superdag stays acyclic.
+func (d *decomposer) addDependencyArcs() {
+	super := d.result.Super
+	seen := make(map[dag.Arc]bool, super.NumArcs())
+	for _, a := range super.Arcs() {
+		seen[a] = true
+	}
+	for p := 0; p < d.g.NumNodes(); p++ {
+		a := d.result.ScheduledIn[p]
+		if a == -1 {
+			continue
+		}
+		for _, v := range d.g.Children(p) {
+			b := d.result.ScheduledIn[v]
+			if b == -1 || b == a {
+				continue
+			}
+			arc := dag.Arc{From: a, To: b}
+			if !seen[arc] {
+				seen[arc] = true
+				super.MustAddArc(a, b)
+			}
+		}
+	}
+}
+
+// currentSources returns the alive nodes with no alive parents, ascending.
+func (d *decomposer) currentSources() []int {
+	var out []int
+	for v := 0; v < d.g.NumNodes(); v++ {
+		if d.alive[v] && d.inAlive[v] == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// block is a component-in-progress: a set of remnant nodes.
+type block struct {
+	nodes   map[int]bool
+	minNode int // smallest source id, for deterministic ordering
+}
+
+// bipartiteBlocks partitions (a subset of) the current sources into
+// maximal connected bipartite building blocks: closures in which every
+// parent of every reached sink is itself a current source. Sources whose
+// closure touches an interior (non-source) parent are left for the
+// general path. Isolated sources form trivial single-node blocks.
+func (d *decomposer) bipartiteBlocks(sources []int) []*block {
+	isSource := make(map[int]bool, len(sources))
+	for _, s := range sources {
+		isSource[s] = true
+	}
+	assigned := make(map[int]bool, len(sources)) // sources already grouped
+	var blocks []*block
+	for _, s := range sources {
+		if assigned[s] {
+			continue
+		}
+		b := &block{nodes: map[int]bool{s: true}, minNode: s}
+		srcs := []int{s}
+		ok := true
+		for i := 0; i < len(srcs); i++ {
+			u := srcs[i]
+			for _, c := range d.g.Children(u) {
+				if !d.alive[c] || b.nodes[c] {
+					continue
+				}
+				// every alive parent of the sink must be a current source
+				for _, p := range d.g.Parents(c) {
+					if d.alive[p] && !isSource[p] {
+						ok = false
+					}
+				}
+				if !ok {
+					break
+				}
+				b.nodes[c] = true
+				for _, p := range d.g.Parents(c) {
+					if d.alive[p] && !b.nodes[p] {
+						b.nodes[p] = true
+						srcs = append(srcs, p)
+						if p < b.minNode {
+							b.minNode = p
+						}
+					}
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		// Mark every source pulled into this closure as handled this
+		// round, whether or not the block is valid: a failed closure
+		// poisons all sources connected through it.
+		for _, u := range srcs {
+			assigned[u] = true
+		}
+		if ok {
+			blocks = append(blocks, b)
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].minNode < blocks[j].minNode })
+	return blocks
+}
+
+// minimalClosure computes the closure C(s) for every current source and
+// returns a containment-minimal one (smallest size, ties broken by
+// smallest source id). One component per round: detaching it can expose
+// new sources that change the other closures.
+func (d *decomposer) minimalClosure(sources []int) *block {
+	var best *block
+	for _, s := range sources {
+		c := d.closure(s)
+		if best == nil || len(c.nodes) < len(best.nodes) ||
+			(len(c.nodes) == len(best.nodes) && c.minNode < best.minNode) {
+			best = c
+		}
+	}
+	return best
+}
+
+// closure computes C(s) per the paper's BFS-like algorithm: S starts as
+// {s}; children of S-jobs join T; parents of T-jobs join T; T-jobs that
+// are sources of the remnant move to S; repeat to fixpoint.
+func (d *decomposer) closure(s int) *block {
+	b := &block{nodes: map[int]bool{s: true}, minNode: s}
+	srcQueue := []int{s} // S jobs whose children still need expanding
+	tQueue := []int{}    // T jobs whose parents still need expanding
+	for len(srcQueue) > 0 || len(tQueue) > 0 {
+		if len(srcQueue) > 0 {
+			u := srcQueue[len(srcQueue)-1]
+			srcQueue = srcQueue[:len(srcQueue)-1]
+			for _, c := range d.g.Children(u) {
+				if d.alive[c] && !b.nodes[c] {
+					b.nodes[c] = true
+					tQueue = append(tQueue, c)
+				}
+			}
+			continue
+		}
+		t := tQueue[len(tQueue)-1]
+		tQueue = tQueue[:len(tQueue)-1]
+		// T members that are sources of the remnant behave as S members.
+		if d.inAlive[t] == 0 {
+			if t < b.minNode {
+				b.minNode = t
+			}
+			srcQueue = append(srcQueue, t)
+		}
+		for _, p := range d.g.Parents(t) {
+			if d.alive[p] && !b.nodes[p] {
+				b.nodes[p] = true
+				tQueue = append(tQueue, p)
+			}
+		}
+	}
+	return b
+}
+
+// isBipartiteSet reports whether the node set forms a two-level dag in
+// the remnant (every alive arc inside runs source -> sink).
+func (d *decomposer) isBipartiteSet(b *block) bool {
+	if b == nil {
+		return false
+	}
+	for v := range b.nodes {
+		hasChildIn := false
+		for _, c := range d.g.Children(v) {
+			if d.alive[c] && b.nodes[c] {
+				hasChildIn = true
+				break
+			}
+		}
+		if !hasChildIn {
+			continue
+		}
+		if d.inAlive[v] != 0 {
+			return false // interior node: has alive parents and a child inside
+		}
+	}
+	return true
+}
+
+// detach finalizes a block as a component: builds the induced subgraph,
+// records superdag arcs from prior owners, and removes the component's
+// non-sinks plus those of its sinks that are sinks of the whole dag.
+func (d *decomposer) detach(b *block, bipartite, fastPath bool) {
+	nodes := make([]int, 0, len(b.nodes))
+	for v := range b.nodes {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+
+	sub, orig := d.inducedAlive(nodes)
+	comp := &Component{
+		Index:     len(d.result.Components),
+		Nodes:     nodes,
+		Sub:       sub,
+		Orig:      orig,
+		Bipartite: bipartite,
+		FastPath:  fastPath,
+	}
+	superNode := d.result.Super.AddNode(fmt.Sprintf("C%d", comp.Index))
+	if superNode != comp.Index {
+		panic("decompose: superdag node/component index mismatch")
+	}
+
+	for _, v := range nodes {
+		if prev := d.owner[v]; prev != -1 && prev != comp.Index {
+			if !d.result.Super.HasArc(prev, comp.Index) {
+				d.result.Super.MustAddArc(prev, comp.Index)
+			}
+		}
+		d.owner[v] = comp.Index
+	}
+
+	// Classify each node within the component and remove what detaches.
+	for i, v := range orig {
+		if sub.OutDegree(i) > 0 {
+			comp.NonSinkCount++
+			d.result.ScheduledIn[v] = comp.Index
+			d.remove(v)
+		} else if d.outAlive[v] == 0 {
+			// Sink of the component and of the whole dag: deferred to
+			// the final all-sinks phase, removed from the remnant now.
+			d.remove(v)
+		}
+	}
+	d.result.Components = append(d.result.Components, comp)
+}
+
+// inducedAlive builds the subgraph induced by nodes, keeping only arcs
+// whose both endpoints are alive members of the set.
+func (d *decomposer) inducedAlive(nodes []int) (*dag.Graph, []int) {
+	sub := dag.NewWithCapacity(len(nodes))
+	toNew := make(map[int]int, len(nodes))
+	orig := make([]int, 0, len(nodes))
+	for _, v := range nodes {
+		toNew[v] = sub.AddNode(d.g.Name(v))
+		orig = append(orig, v)
+	}
+	for _, u := range nodes {
+		for _, c := range d.g.Children(u) {
+			if nv, ok := toNew[c]; ok && d.alive[c] {
+				sub.MustAddArc(toNew[u], nv)
+			}
+		}
+	}
+	return sub, orig
+}
+
+func (d *decomposer) remove(v int) {
+	if !d.alive[v] {
+		panic(fmt.Sprintf("decompose: double removal of node %d", v))
+	}
+	d.alive[v] = false
+	d.aliveCount--
+	for _, c := range d.g.Children(v) {
+		if d.alive[c] {
+			d.inAlive[c]--
+		}
+	}
+	for _, p := range d.g.Parents(v) {
+		if d.alive[p] {
+			d.outAlive[p]--
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package icopt_test
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/icopt"
+)
+
+func ExampleIsICOptimal() {
+	// Fig. 3: the c-first order is IC-optimal, the FIFO order is not.
+	g := dag.New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	c, d, e := g.AddNode("c"), g.AddNode("d"), g.AddNode("e")
+	g.MustAddArc(a, b)
+	g.MustAddArc(c, d)
+	g.MustAddArc(c, e)
+
+	ok, _, _ := icopt.IsICOptimal(g, []int{c, a, b, d, e})
+	fmt.Println("PRIO order optimal:", ok)
+	ok, at, _ := icopt.IsICOptimal(g, []int{a, c, b, d, e})
+	fmt.Println("FIFO order optimal:", ok, "- falls short at step", at)
+	// Output:
+	// PRIO order optimal: true
+	// FIFO order optimal: false - falls short at step 1
+}

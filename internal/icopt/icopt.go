@@ -1,0 +1,179 @@
+// Package icopt provides exact IC-optimality oracles for small dags by
+// exhaustive search over downward-closed execution prefixes. The
+// scheduling theory defines a schedule as IC optimal when, after every
+// number t of executed jobs, the number of eligible jobs matches the
+// maximum achievable by any valid execution of t jobs; this package
+// computes that maximum directly, so tests (and users exploring the
+// theory) can certify schedules produced by the heuristic or the
+// theoretical algorithm.
+//
+// The search enumerates all 2^n job subsets, so it is limited to dags of
+// at most MaxNodes jobs.
+package icopt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/dag"
+)
+
+// MaxNodes bounds the exhaustive search (2^n subsets are enumerated).
+const MaxNodes = 24
+
+// OptimalTrace returns, for every t in [0, n], the maximum number of
+// eligible jobs over all downward-closed sets of t executed jobs — the
+// IC-optimality envelope E*(t). An error is returned for dags larger
+// than MaxNodes.
+func OptimalTrace(g *dag.Graph) ([]int, error) {
+	n := g.NumNodes()
+	if n > MaxNodes {
+		return nil, fmt.Errorf("icopt: dag has %d jobs, exhaustive bound is %d", n, MaxNodes)
+	}
+	// Per-node parent masks let each subset be checked in O(n).
+	parentMask := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for _, p := range g.Parents(v) {
+			parentMask[v] |= 1 << uint(p)
+		}
+	}
+	best := make([]int, n+1)
+	for i := range best {
+		best[i] = -1
+	}
+	for mask := uint32(0); mask < 1<<uint(n); mask++ {
+		closed := true
+		eligible := 0
+		for v := 0; v < n; v++ {
+			bit := uint32(1) << uint(v)
+			if mask&bit != 0 {
+				if parentMask[v]&^mask != 0 {
+					closed = false
+					break
+				}
+			} else if parentMask[v]&^mask == 0 {
+				eligible++
+			}
+		}
+		if !closed {
+			continue
+		}
+		size := bits.OnesCount32(mask)
+		if eligible > best[size] {
+			best[size] = eligible
+		}
+	}
+	return best, nil
+}
+
+// IsICOptimal reports whether the given complete execution order of g
+// achieves the IC-optimality envelope at every step. The second result
+// is the first step at which the order falls short (-1 when optimal).
+// An error is returned when the order is invalid or the dag exceeds
+// MaxNodes.
+func IsICOptimal(g *dag.Graph, order []int) (bool, int, error) {
+	if len(order) != g.NumNodes() {
+		return false, -1, fmt.Errorf("icopt: order has %d jobs, dag has %d", len(order), g.NumNodes())
+	}
+	envelope, err := OptimalTrace(g)
+	if err != nil {
+		return false, -1, err
+	}
+	trace, err := eligibilityTrace(g, order)
+	if err != nil {
+		return false, -1, err
+	}
+	for t := range trace {
+		if trace[t] < envelope[t] {
+			return false, t, nil
+		}
+	}
+	return true, -1, nil
+}
+
+// AdmitsICOptimalSchedule reports whether any IC-optimal schedule exists
+// for g: a greedy certificate search that, at each step, keeps the set
+// of downward-closed prefixes achieving the envelope and advances them
+// by one job. The dag admits an IC-optimal schedule exactly when the
+// set never empties. (Some simple dags admit none — the theory's
+// motivating limitation.)
+func AdmitsICOptimalSchedule(g *dag.Graph) (bool, error) {
+	n := g.NumNodes()
+	if n > MaxNodes {
+		return false, fmt.Errorf("icopt: dag has %d jobs, exhaustive bound is %d", n, MaxNodes)
+	}
+	envelope, err := OptimalTrace(g)
+	if err != nil {
+		return false, err
+	}
+	parentMask := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for _, p := range g.Parents(v) {
+			parentMask[v] |= 1 << uint(p)
+		}
+	}
+	eligibleCount := func(mask uint32) int {
+		c := 0
+		for v := 0; v < n; v++ {
+			bit := uint32(1) << uint(v)
+			if mask&bit == 0 && parentMask[v]&^mask == 0 {
+				c++
+			}
+		}
+		return c
+	}
+	// frontier: the envelope-achieving prefixes of size t.
+	frontier := map[uint32]bool{0: true}
+	for t := 0; t < n; t++ {
+		next := make(map[uint32]bool)
+		for mask := range frontier {
+			for v := 0; v < n; v++ {
+				bit := uint32(1) << uint(v)
+				if mask&bit != 0 || parentMask[v]&^mask != 0 {
+					continue
+				}
+				nm := mask | bit
+				if !next[nm] && eligibleCount(nm) == envelope[t+1] {
+					next[nm] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false, nil
+		}
+		frontier = next
+	}
+	return true, nil
+}
+
+// eligibilityTrace mirrors core.EligibilityTrace without importing core
+// (core's tests import this package).
+func eligibilityTrace(g *dag.Graph, order []int) ([]int, error) {
+	n := g.NumNodes()
+	remaining := make([]int, n)
+	executed := make([]bool, n)
+	eligible := 0
+	for v := 0; v < n; v++ {
+		remaining[v] = g.InDegree(v)
+		if remaining[v] == 0 {
+			eligible++
+		}
+	}
+	out := make([]int, 0, len(order)+1)
+	out = append(out, eligible)
+	for _, v := range order {
+		if v < 0 || v >= n || executed[v] || remaining[v] != 0 {
+			return nil, fmt.Errorf("icopt: invalid execution order at job %d", v)
+		}
+		executed[v] = true
+		eligible--
+		for _, c := range g.Children(v) {
+			remaining[c]--
+			if remaining[c] == 0 {
+				eligible++
+			}
+		}
+		out = append(out, eligible)
+	}
+	return out, nil
+}

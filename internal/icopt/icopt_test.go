@@ -1,0 +1,219 @@
+package icopt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+func buildChain(n int) *dag.Graph {
+	g := dag.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("v%d", i))
+		if i > 0 {
+			g.MustAddArc(i-1, i)
+		}
+	}
+	return g
+}
+
+func TestOptimalTraceChain(t *testing.T) {
+	g := buildChain(4)
+	env, err := OptimalTrace(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 1, 1, 0}
+	for i := range want {
+		if env[i] != want[i] {
+			t.Fatalf("envelope = %v, want %v", env, want)
+		}
+	}
+}
+
+func TestOptimalTraceFork(t *testing.T) {
+	g := dag.New()
+	s := g.AddNode("s")
+	for i := 0; i < 3; i++ {
+		g.MustAddArc(s, g.AddNode(fmt.Sprintf("c%d", i)))
+	}
+	env, err := OptimalTrace(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 2, 1, 0}
+	for i := range want {
+		if env[i] != want[i] {
+			t.Fatalf("envelope = %v, want %v", env, want)
+		}
+	}
+}
+
+func TestOptimalTraceTooLarge(t *testing.T) {
+	if _, err := OptimalTrace(buildChain(MaxNodes + 1)); err == nil {
+		t.Fatal("oversized dag accepted")
+	}
+}
+
+func TestIsICOptimal(t *testing.T) {
+	// Fig. 3 dag: c,a,b,d,e is IC-optimal; a,c,b,d,e is not (at t=1,
+	// executing a leaves eligible {b,c} = 2, but executing c gives
+	// {a,d,e} = 3).
+	g := dag.New()
+	a, b, c, d, e := g.AddNode("a"), g.AddNode("b"), g.AddNode("c"), g.AddNode("d"), g.AddNode("e")
+	g.MustAddArc(a, b)
+	g.MustAddArc(c, d)
+	g.MustAddArc(c, e)
+	ok, at, err := IsICOptimal(g, []int{c, a, b, d, e})
+	if err != nil || !ok {
+		t.Fatalf("PRIO order not optimal: ok=%v at=%d err=%v", ok, at, err)
+	}
+	ok, at, err = IsICOptimal(g, []int{a, c, b, d, e})
+	if err != nil || ok || at != 1 {
+		t.Fatalf("FIFO order wrongly optimal: ok=%v at=%d err=%v", ok, at, err)
+	}
+}
+
+func TestIsICOptimalErrors(t *testing.T) {
+	g := buildChain(3)
+	if _, _, err := IsICOptimal(g, []int{0}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, _, err := IsICOptimal(g, []int{2, 1, 0}); err == nil {
+		t.Fatal("invalid order accepted")
+	}
+}
+
+func TestBuildingBlocksAdmitOptimal(t *testing.T) {
+	for name, g := range map[string]*dag.Graph{
+		"W(3,2)":   bipartite.NewW(3, 2),
+		"M(2,3)":   bipartite.NewM(2, 3),
+		"N(4)":     bipartite.NewN(4),
+		"Cycle(4)": bipartite.NewCycle(4),
+		"Clique3":  bipartite.NewClique(3, 3),
+		"chain":    buildChain(6),
+	} {
+		ok, err := AdmitsICOptimalSchedule(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ok {
+			t.Fatalf("%s must admit an IC-optimal schedule", name)
+		}
+	}
+}
+
+// TestSomeDagPrecludesOptimal reproduces the theory's motivating
+// limitation ("there do exist even some simple dags whose structures
+// preclude any IC-optimal schedule") by exhibiting one found by search.
+func TestSomeDagPrecludesOptimal(t *testing.T) {
+	r := rng.New(2026)
+	for trial := 0; trial < 4000; trial++ {
+		n := 4 + r.Intn(5)
+		g := dag.New()
+		for i := 0; i < n; i++ {
+			g.AddNode(fmt.Sprintf("n%d", i))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.35 {
+					g.MustAddArc(i, j)
+				}
+			}
+		}
+		ok, err := AdmitsICOptimalSchedule(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Logf("found non-admitting dag after %d trials: %v", trial+1, g.Arcs())
+			return
+		}
+	}
+	t.Fatal("no dag precluding IC-optimality found; search too weak")
+}
+
+// Sanity: whenever a dag admits an IC-optimal schedule, the greedy
+// frontier construction is consistent with the envelope being reachable
+// step by step (frontier nonemptiness at every step is exactly what
+// AdmitsICOptimalSchedule checks, so cross-check it against a direct
+// greedy schedule construction).
+func TestAdmitsMatchesGreedyConstruction(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + r.Intn(6)
+		g := dag.New()
+		for i := 0; i < n; i++ {
+			g.AddNode(fmt.Sprintf("n%d", i))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.3 {
+					g.MustAddArc(i, j)
+				}
+			}
+		}
+		admits, err := AdmitsICOptimalSchedule(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := searchOptimalSchedule(t, g)
+		if admits != found {
+			t.Fatalf("trial %d: AdmitsICOptimalSchedule=%v but exhaustive search says %v (arcs %v)",
+				trial, admits, found, g.Arcs())
+		}
+	}
+}
+
+// searchOptimalSchedule tries to build an IC-optimal schedule by
+// backtracking over envelope-achieving extensions.
+func searchOptimalSchedule(t *testing.T, g *dag.Graph) bool {
+	t.Helper()
+	env, err := OptimalTrace(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	parentMask := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for _, p := range g.Parents(v) {
+			parentMask[v] |= 1 << uint(p)
+		}
+	}
+	eligible := func(mask uint32) int {
+		c := 0
+		for v := 0; v < n; v++ {
+			bit := uint32(1) << uint(v)
+			if mask&bit == 0 && parentMask[v]&^mask == 0 {
+				c++
+			}
+		}
+		return c
+	}
+	seen := map[uint32]bool{}
+	var rec func(mask uint32, t0 int) bool
+	rec = func(mask uint32, t0 int) bool {
+		if t0 == n {
+			return true
+		}
+		if seen[mask] {
+			return false
+		}
+		seen[mask] = true
+		for v := 0; v < n; v++ {
+			bit := uint32(1) << uint(v)
+			if mask&bit != 0 || parentMask[v]&^mask != 0 {
+				continue
+			}
+			nm := mask | bit
+			if eligible(nm) == env[t0+1] && rec(nm, t0+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}

@@ -1,0 +1,142 @@
+// Package matching implements Hopcroft-Karp maximum bipartite matching.
+// The dag package uses it to compute exact dag width (the maximum
+// antichain) via Dilworth's theorem, turning the paper's informal
+// "AIRSN of width 250" into a measurable quantity.
+package matching
+
+// Bipartite holds a bipartite graph with nLeft left vertices and nRight
+// right vertices; adj[l] lists the right vertices adjacent to left
+// vertex l.
+type Bipartite struct {
+	nLeft, nRight int
+	adj           [][]int
+}
+
+// NewBipartite creates an empty bipartite graph.
+func NewBipartite(nLeft, nRight int) *Bipartite {
+	return &Bipartite{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
+}
+
+// AddEdge connects left vertex l to right vertex r.
+func (b *Bipartite) AddEdge(l, r int) {
+	if l < 0 || l >= b.nLeft || r < 0 || r >= b.nRight {
+		panic("matching: edge endpoint out of range")
+	}
+	b.adj[l] = append(b.adj[l], r)
+}
+
+const unmatched = -1
+
+// Result is a maximum matching: MatchL[l] is the right vertex matched
+// to left vertex l (or -1), and symmetrically MatchR.
+type Result struct {
+	Size   int
+	MatchL []int
+	MatchR []int
+}
+
+// MaxMatching computes a maximum matching with the Hopcroft-Karp
+// algorithm in O(E sqrt(V)).
+func (b *Bipartite) MaxMatching() Result {
+	matchL := make([]int, b.nLeft)
+	matchR := make([]int, b.nRight)
+	for i := range matchL {
+		matchL[i] = unmatched
+	}
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+	dist := make([]int, b.nLeft)
+	queue := make([]int, 0, b.nLeft)
+
+	const inf = int(^uint(0) >> 1)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < b.nLeft; l++ {
+			if matchL[l] == unmatched {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			l := queue[head]
+			for _, r := range b.adj[l] {
+				nl := matchR[r]
+				if nl == unmatched {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range b.adj[l] {
+			nl := matchR[r]
+			if nl == unmatched || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for l := 0; l < b.nLeft; l++ {
+			if matchL[l] == unmatched && dfs(l) {
+				size++
+			}
+		}
+	}
+	return Result{Size: size, MatchL: matchL, MatchR: matchR}
+}
+
+// MinVertexCover returns, via Koenig's theorem, a minimum vertex cover
+// (inLeft, inRight flags) of the bipartite graph, given a maximum
+// matching. |cover| equals the matching size.
+func (b *Bipartite) MinVertexCover(m Result) (inLeft, inRight []bool) {
+	// Alternating BFS from unmatched left vertices: visited left
+	// vertices are OUT of the cover, visited right vertices are IN.
+	visitedL := make([]bool, b.nLeft)
+	visitedR := make([]bool, b.nRight)
+	queue := make([]int, 0, b.nLeft)
+	for l := 0; l < b.nLeft; l++ {
+		if m.MatchL[l] == unmatched {
+			visitedL[l] = true
+			queue = append(queue, l)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		l := queue[head]
+		for _, r := range b.adj[l] {
+			if visitedR[r] {
+				continue
+			}
+			visitedR[r] = true
+			if nl := m.MatchR[r]; nl != unmatched && !visitedL[nl] {
+				visitedL[nl] = true
+				queue = append(queue, nl)
+			}
+		}
+	}
+	inLeft = make([]bool, b.nLeft)
+	inRight = make([]bool, b.nRight)
+	for l := 0; l < b.nLeft; l++ {
+		inLeft[l] = !visitedL[l]
+	}
+	for r := 0; r < b.nRight; r++ {
+		inRight[r] = visitedR[r]
+	}
+	return inLeft, inRight
+}

@@ -1,0 +1,191 @@
+package matching
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestEmpty(t *testing.T) {
+	b := NewBipartite(3, 3)
+	m := b.MaxMatching()
+	if m.Size != 0 {
+		t.Fatalf("size = %d", m.Size)
+	}
+}
+
+func TestPerfectMatching(t *testing.T) {
+	b := NewBipartite(3, 3)
+	for i := 0; i < 3; i++ {
+		b.AddEdge(i, i)
+		b.AddEdge(i, (i+1)%3)
+	}
+	m := b.MaxMatching()
+	if m.Size != 3 {
+		t.Fatalf("size = %d, want 3", m.Size)
+	}
+	checkMatchingValid(t, b, m)
+}
+
+func TestAugmentingPathNeeded(t *testing.T) {
+	// Classic case where greedy fails: l0-{r0}, l1-{r0,r1}.
+	b := NewBipartite(2, 2)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 1)
+	b.AddEdge(0, 0)
+	m := b.MaxMatching()
+	if m.Size != 2 {
+		t.Fatalf("size = %d, want 2", m.Size)
+	}
+}
+
+func TestStarGraph(t *testing.T) {
+	b := NewBipartite(1, 5)
+	for r := 0; r < 5; r++ {
+		b.AddEdge(0, r)
+	}
+	if m := b.MaxMatching(); m.Size != 1 {
+		t.Fatalf("size = %d, want 1", m.Size)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBipartite(1, 1).AddEdge(0, 5)
+}
+
+func checkMatchingValid(t *testing.T, b *Bipartite, m Result) {
+	t.Helper()
+	seenR := map[int]bool{}
+	count := 0
+	for l, r := range m.MatchL {
+		if r == -1 {
+			continue
+		}
+		count++
+		if seenR[r] {
+			t.Fatalf("right vertex %d matched twice", r)
+		}
+		seenR[r] = true
+		if m.MatchR[r] != l {
+			t.Fatalf("asymmetric matching at %d-%d", l, r)
+		}
+		found := false
+		for _, rr := range b.adj[l] {
+			if rr == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("matched pair %d-%d is not an edge", l, r)
+		}
+	}
+	if count != m.Size {
+		t.Fatalf("Size %d but %d pairs", m.Size, count)
+	}
+}
+
+// brute computes maximum matching by exhaustive search over left
+// assignments (tiny graphs only).
+func brute(b *Bipartite) int {
+	usedR := make([]bool, b.nRight)
+	var rec func(l int) int
+	rec = func(l int) int {
+		if l == b.nLeft {
+			return 0
+		}
+		best := rec(l + 1) // leave l unmatched
+		for _, r := range b.adj[l] {
+			if !usedR[r] {
+				usedR[r] = true
+				if v := 1 + rec(l+1); v > best {
+					best = v
+				}
+				usedR[r] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	r := rng.New(12)
+	for trial := 0; trial < 120; trial++ {
+		nl, nr := 1+r.Intn(7), 1+r.Intn(7)
+		b := NewBipartite(nl, nr)
+		for l := 0; l < nl; l++ {
+			for rr := 0; rr < nr; rr++ {
+				if r.Float64() < 0.35 {
+					b.AddEdge(l, rr)
+				}
+			}
+		}
+		m := b.MaxMatching()
+		checkMatchingValid(t, b, m)
+		if want := brute(b); m.Size != want {
+			t.Fatalf("trial %d: size %d, brute force %d", trial, m.Size, want)
+		}
+	}
+}
+
+func TestVertexCoverKoenig(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 100; trial++ {
+		nl, nr := 1+r.Intn(7), 1+r.Intn(7)
+		b := NewBipartite(nl, nr)
+		for l := 0; l < nl; l++ {
+			for rr := 0; rr < nr; rr++ {
+				if r.Float64() < 0.3 {
+					b.AddEdge(l, rr)
+				}
+			}
+		}
+		m := b.MaxMatching()
+		inL, inR := b.MinVertexCover(m)
+		// cover size == matching size (Koenig)
+		size := 0
+		for _, v := range inL {
+			if v {
+				size++
+			}
+		}
+		for _, v := range inR {
+			if v {
+				size++
+			}
+		}
+		if size != m.Size {
+			t.Fatalf("trial %d: cover %d != matching %d", trial, size, m.Size)
+		}
+		// every edge covered
+		for l := 0; l < nl; l++ {
+			for _, rr := range b.adj[l] {
+				if !inL[l] && !inR[rr] {
+					t.Fatalf("trial %d: edge %d-%d uncovered", trial, l, rr)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMatchingDense(b *testing.B) {
+	r := rng.New(1)
+	bp := NewBipartite(300, 300)
+	for l := 0; l < 300; l++ {
+		for rr := 0; rr < 300; rr++ {
+			if r.Float64() < 0.05 {
+				bp.AddEdge(l, rr)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp.MaxMatching()
+	}
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// ExperimentOptions configures the Section 4.2 measurement procedure.
+type ExperimentOptions struct {
+	// P is the number of samples in the empirical sampling
+	// distribution; Q is the number of measurements averaged per
+	// sample. The paper uses P = 300, Q = 300; the defaults are scaled
+	// down for laptop runs and can be raised with flags.
+	P, Q int
+	// Confidence is the interval confidence in percent (95 in the
+	// paper).
+	Confidence float64
+	// Seed makes the whole experiment reproducible.
+	Seed uint64
+	// Workers caps the number of parallel replications (default: number
+	// of CPUs).
+	Workers int
+}
+
+// DefaultExperimentOptions returns laptop-scale defaults.
+func DefaultExperimentOptions() ExperimentOptions {
+	return ExperimentOptions{P: 40, Q: 40, Confidence: 95, Seed: 1, Workers: runtime.NumCPU()}
+}
+
+func (o ExperimentOptions) normalized() ExperimentOptions {
+	d := DefaultExperimentOptions()
+	if o.P <= 0 {
+		o.P = d.P
+	}
+	if o.Q <= 0 {
+		o.Q = d.Q
+	}
+	if o.Confidence <= 0 || o.Confidence >= 100 {
+		o.Confidence = d.Confidence
+	}
+	if o.Workers <= 0 {
+		o.Workers = d.Workers
+	}
+	return o
+}
+
+// PolicyMeasurements holds the raw and aggregated measurements of one
+// policy at one parameter point.
+type PolicyMeasurements struct {
+	Name string
+	// ExecTime, Stalling, Utilization are the empirical sampling
+	// distributions (P values, each a Q-run average).
+	ExecTime, Stalling, Utilization []float64
+	// Summaries of the P sample means.
+	ExecSummary, StallSummary, UtilSummary stats.Summary
+}
+
+// Comparison is the PRIO/FIFO comparison at one (mu_BIT, mu_BS) point:
+// the three ratio confidence intervals plotted in Figures 6-9.
+type Comparison struct {
+	Params      Params
+	A, B        PolicyMeasurements
+	ExecTime    stats.RatioCI // E[T_A] / E[T_B]
+	Stalling    stats.RatioCI
+	Utilization stats.RatioCI
+}
+
+// measure runs P*Q simulations of g under the policy and builds the
+// empirical sampling distributions. Replications are distributed over a
+// worker pool; seeds are pre-derived sequentially so results do not
+// depend on scheduling.
+func measure(g *dag.Graph, p Params, pol func() Policy, opts ExperimentOptions, seedStream *rng.Source) PolicyMeasurements {
+	total := opts.P * opts.Q
+	seeds := make([]uint64, total)
+	for i := range seeds {
+		seeds[i] = seedStream.Uint64()
+	}
+	execT := make([]float64, total)
+	stall := make([]float64, total)
+	util := make([]float64, total)
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	workers := opts.Workers
+	if workers > total {
+		workers = total
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			policy := pol()
+			for i := range jobs {
+				m := Run(g, p, policy, rng.New(seeds[i]))
+				execT[i] = m.ExecutionTime
+				stall[i] = m.StallProbability
+				util[i] = m.Utilization
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	pm := PolicyMeasurements{
+		ExecTime:    stats.SamplingDistribution(execT, opts.P, opts.Q),
+		Stalling:    stats.SamplingDistribution(stall, opts.P, opts.Q),
+		Utilization: stats.SamplingDistribution(util, opts.P, opts.Q),
+	}
+	pm.ExecSummary = stats.Summarize(pm.ExecTime)
+	pm.StallSummary = stats.Summarize(pm.Stalling)
+	pm.UtilSummary = stats.Summarize(pm.Utilization)
+	return pm
+}
+
+// Compare measures two policies on g at the given parameters and builds
+// the three ratio confidence intervals (A over B). The policies are
+// constructed per worker via the factories, since Policy implementations
+// are stateful and not safe for concurrent use.
+func Compare(g *dag.Graph, p Params, a, b func() Policy, opts ExperimentOptions) Comparison {
+	opts = opts.normalized()
+	if err := p.validate(); err != nil {
+		panic(err)
+	}
+	// Independent deterministic seed streams per policy.
+	base := rng.New(opts.Seed)
+	streamA := base.Split()
+	streamB := base.Split()
+
+	ma := measure(g, p, a, opts, streamA)
+	ma.Name = a().Name()
+	mb := measure(g, p, b, opts, streamB)
+	mb.Name = b().Name()
+
+	return Comparison{
+		Params:      p,
+		A:           ma,
+		B:           mb,
+		ExecTime:    stats.RatioInterval(ma.ExecTime, mb.ExecTime, opts.Confidence),
+		Stalling:    stats.RatioInterval(ma.Stalling, mb.Stalling, opts.Confidence),
+		Utilization: stats.RatioInterval(ma.Utilization, mb.Utilization, opts.Confidence),
+	}
+}
+
+// ComparePRIOFIFO is the paper's headline comparison at one parameter
+// point: the PRIO schedule (computed once) against FIFO.
+func ComparePRIOFIFO(g *dag.Graph, p Params, opts ExperimentOptions) Comparison {
+	prio := NewPRIO(g) // compute the schedule once; clone per worker
+	order := append([]int(nil), prio.order...)
+	return Compare(g, p,
+		func() Policy { return NewOblivious("PRIO", order) },
+		func() Policy { return NewFIFO() },
+		opts)
+}
+
+// GridPoint is one cell of the Figures 6-9 sweep.
+type GridPoint struct {
+	MuBIT, MuBS float64
+	Comparison
+}
+
+// Sweep runs ComparePRIOFIFO over the cross product of the given
+// mu_BIT and mu_BS values, in row-major order (matching the figures:
+// seven mu_BIT sections, mu_BS rising within each).
+func Sweep(g *dag.Graph, muBITs, muBSs []float64, opts ExperimentOptions, progress func(GridPoint)) []GridPoint {
+	prio := NewPRIO(g)
+	order := append([]int(nil), prio.order...)
+	var out []GridPoint
+	for _, bit := range muBITs {
+		for _, bs := range muBSs {
+			c := Compare(g, DefaultParams(bit, bs),
+				func() Policy { return NewOblivious("PRIO", order) },
+				func() Policy { return NewFIFO() },
+				opts)
+			gp := GridPoint{MuBIT: bit, MuBS: bs, Comparison: c}
+			if progress != nil {
+				progress(gp)
+			}
+			out = append(out, gp)
+		}
+	}
+	return out
+}
+
+// FormatRow renders a grid point as one table row (used by cmd/simgrid
+// and the benchmarks).
+func (gp GridPoint) FormatRow() string {
+	f := func(ci stats.RatioCI) string {
+		if !ci.Valid {
+			return "      (n/a)      "
+		}
+		return fmt.Sprintf("%5.3f[%5.3f,%5.3f]", ci.Median, ci.Lo, ci.Hi)
+	}
+	return fmt.Sprintf("muBIT=%8.3g muBS=%7.0f  time=%s  stall=%s  util=%s",
+		gp.MuBIT, gp.MuBS, f(gp.ExecTime), f(gp.Stalling), f(gp.Utilization))
+}

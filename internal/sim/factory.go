@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+)
+
+// PolicyFactory resolves a policy name to a constructor for g. Factories
+// are needed (rather than instances) because policies are stateful and
+// the experiment driver runs one per worker. Recognized names:
+//
+//	prio            the prio tool's schedule (the paper's PRIO)
+//	fifo            DAGMan's eligibility-order queue (the paper's FIFO)
+//	random          uniformly random eligible job
+//	critpath        highest-level-first (classic critical path)
+//	prio-maxjobs=N  PRIO behind the Section 3.2 two-queue throttle
+func PolicyFactory(name string, g *dag.Graph) (func() Policy, error) {
+	switch {
+	case name == "prio":
+		order := core.Prioritize(g).Order
+		return func() Policy { return NewOblivious("PRIO", order) }, nil
+	case name == "fifo":
+		return func() Policy { return NewFIFO() }, nil
+	case name == "random":
+		return func() Policy { return NewRandom() }, nil
+	case name == "critpath":
+		order := criticalPathOrder(g)
+		return func() Policy { return NewOblivious("CRITPATH", order) }, nil
+	case strings.HasPrefix(name, "prio-maxjobs="),
+		strings.HasPrefix(name, "maxjobs="):
+		_, val, _ := strings.Cut(name, "=")
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sim: bad maxjobs value %q", val)
+		}
+		order := core.Prioritize(g).Order
+		return func() Policy { return NewTwoLevel(order, n) }, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %q (want prio, fifo, random, critpath, prio-maxjobs=N)", name)
+	}
+}
+
+// criticalPathOrder exposes the order used by NewCriticalPath so the
+// factory can capture it once per sweep.
+func criticalPathOrder(g *dag.Graph) []int {
+	height, _ := g.Reverse().Levels()
+	order := make([]int, g.NumNodes())
+	for i := range order {
+		order[i] = i
+	}
+	sortByHeight(order, height)
+	return order
+}
+
+// PolicyNames lists the recognized fixed policy names.
+func PolicyNames() []string { return []string{"prio", "fifo", "random", "critpath"} }

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/workloads"
+)
+
+func TestFactoryKnownPolicies(t *testing.T) {
+	g := workloads.AIRSN(10)
+	for _, name := range append(PolicyNames(), "prio-maxjobs=8", "maxjobs=3") {
+		f, err := PolicyFactory(name, g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pol := f()
+		m := Run(g, DefaultParams(1, 4), pol, rng.New(7))
+		if m.ExecutionTime <= 0 {
+			t.Fatalf("%s: run did not finish", name)
+		}
+		// factories must return fresh instances
+		if f() == pol {
+			t.Fatalf("%s: factory returned a shared instance", name)
+		}
+	}
+}
+
+func TestFactoryErrors(t *testing.T) {
+	g := workloads.AIRSN(5)
+	for _, bad := range []string{"", "nope", "maxjobs=x", "prio-maxjobs=-1"} {
+		if _, err := PolicyFactory(bad, g); err == nil {
+			t.Errorf("PolicyFactory(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFactoryCritpathMatchesConstructor(t *testing.T) {
+	g := workloads.Inspiral(6)
+	f, err := PolicyFactory("critpath", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(1, 4)
+	a := Run(g, p, f(), rng.New(3))
+	b := Run(g, p, NewCriticalPath(g), rng.New(3))
+	if a != b {
+		t.Fatal("factory critpath differs from NewCriticalPath")
+	}
+}
+
+// TestCriticalPathVsPRIO is the extension experiment: under batch
+// variability the eligibility-maximizing PRIO should not lose to the
+// classic critical-path heuristic on the bottleneck-heavy AIRSN dag.
+func TestCriticalPathVsPRIO(t *testing.T) {
+	g := workloads.AIRSN(60)
+	prio, _ := PolicyFactory("prio", g)
+	cp, _ := PolicyFactory("critpath", g)
+	opts := ExperimentOptions{P: 12, Q: 12, Seed: 8}
+	c := Compare(g, DefaultParams(1, 8), prio, cp, opts)
+	if !c.ExecTime.Valid {
+		t.Fatal("no CI")
+	}
+	if c.ExecTime.Median > 1.05 {
+		t.Fatalf("PRIO/CRITPATH exec ratio = %v; PRIO should not lose", c.ExecTime)
+	}
+}

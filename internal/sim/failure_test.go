@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/workloads"
+)
+
+func TestFailureModelCompletesAndSlows(t *testing.T) {
+	g := chainDag(10)
+	base := DefaultParams(0.1, 4)
+	var okTime, failTime float64
+	const reps = 25
+	for i := 0; i < reps; i++ {
+		okTime += Run(g, base, NewFIFO(), rng.New(uint64(i))).ExecutionTime
+		p := base
+		p.FailureProb = 0.3
+		failTime += Run(g, p, NewFIFO(), rng.New(uint64(i))).ExecutionTime
+	}
+	okTime /= reps
+	failTime /= reps
+	// a 30% failure rate on a chain should stretch execution noticeably
+	if failTime < okTime*1.2 {
+		t.Fatalf("failures barely slowed the chain: %.2f vs %.2f", failTime, okTime)
+	}
+}
+
+func TestFailureRequeuesThroughPolicy(t *testing.T) {
+	// With failures, total assignments exceed the job count.
+	g := workloads.AIRSN(10)
+	p := DefaultParams(1, 8)
+	p.FailureProb = 0.25
+	rec := &recordingPolicy{inner: NewFIFO()}
+	m := RunObserved(g, p, rec, rng.New(9), nil)
+	if m.ExecutionTime <= 0 {
+		t.Fatal("run did not finish")
+	}
+	if len(rec.assigned) <= g.NumNodes() {
+		t.Fatalf("expected reassignments: %d assignments for %d jobs", len(rec.assigned), g.NumNodes())
+	}
+}
+
+func TestFailureProbValidation(t *testing.T) {
+	p := DefaultParams(1, 1)
+	p.FailureProb = 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FailureProb = 1 accepted (would never terminate)")
+		}
+	}()
+	Run(chainDag(2), p, NewFIFO(), rng.New(1))
+}
+
+// TestPRIOAdvantageSurvivesFailures: the paper motivates eligibility
+// maximization with grid unpredictability; worker failures are its
+// harshest form, and PRIO's advantage should persist under them.
+func TestPRIOAdvantageSurvivesFailures(t *testing.T) {
+	g := workloads.AIRSN(60)
+	p := DefaultParams(1, 8)
+	p.FailureProb = 0.1
+	prio, _ := PolicyFactory("prio", g)
+	fifo, _ := PolicyFactory("fifo", g)
+	opts := ExperimentOptions{P: 12, Q: 12, Seed: 6}
+	c := Compare(g, p, prio, fifo, opts)
+	if !c.ExecTime.Valid || c.ExecTime.Median >= 1 {
+		t.Fatalf("PRIO advantage lost under failures: %+v", c.ExecTime)
+	}
+}
+
+// failCounter counts Failed callbacks.
+type failCounter struct{ fails int }
+
+func (f *failCounter) BatchArrived(float64, int, int) {}
+func (f *failCounter) Assigned(float64, int)          {}
+func (f *failCounter) Completed(float64, int)         {}
+func (f *failCounter) Failed(float64, int)            { f.fails++ }
+
+func TestFailureObserverFires(t *testing.T) {
+	g := workloads.AIRSN(10)
+	p := DefaultParams(1, 8)
+	p.FailureProb = 0.3
+	fc := &failCounter{}
+	RunObserved(g, p, NewFIFO(), rng.New(4), fc)
+	if fc.fails == 0 {
+		t.Fatal("no Failed events at a 30% failure rate")
+	}
+}

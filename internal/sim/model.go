@@ -1,0 +1,292 @@
+// Package sim implements the stochastic grid model of Section 4.1 and
+// the experiment driver of Section 4.2.
+//
+// The model: batches of worker requests arrive at a central server; the
+// first batch at time 0, subsequent interarrival times exponentially
+// distributed with mean BatchInterarrival (mu_BIT). Batch sizes are
+// exponentially distributed with mean BatchSize (mu_BS), discretized to
+// max(1, round(x)). Each assigned job runs for a Normal(1, 0.1) time on
+// its worker. Requests that cannot be filled are NOT rolled over — those
+// workers are presumed intercepted by other computations. Two scheduling
+// regimens are modelled: the oblivious PRIO regimen (a fixed total order
+// prioritizes the eligible jobs) and the FIFO regimen used by DAGMan (a
+// queue in eligibility order).
+//
+// Three metrics are measured per run: the execution time (time at which
+// the last job completes), the probability of stalling (fraction of
+// batches, among those arriving before the last job is assigned, that
+// found at least one unexecuted-and-unassigned job but no eligible one),
+// and the utilization (jobs divided by the total requests arriving until
+// the batch at which the last job was assigned).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+// Params configures the stochastic system of Section 4.1.
+type Params struct {
+	// BatchInterarrival is mu_BIT, the mean time between request
+	// batches (exponential).
+	BatchInterarrival float64
+	// BatchSize is mu_BS, the mean number of worker requests per batch
+	// (exponential, discretized to max(1, round(x))).
+	BatchSize float64
+	// JobTimeMean and JobTimeStdDev parameterize the normal job running
+	// time; the paper uses 1.0 and 0.1.
+	JobTimeMean   float64
+	JobTimeStdDev float64
+	// JobMeans optionally overrides the mean running time per job
+	// (indexed by node), modelling heterogeneous jobs — the relaxation
+	// of the paper's equal-job-times assumption flagged as future work.
+	// Empty means every job uses JobTimeMean.
+	JobMeans []float64
+	// RolloverWorkers flips the paper's "workers whose requests are not
+	// filled are not rolled over" assumption: when true, unfilled
+	// requests wait at the server and are handed the next job the
+	// moment it becomes eligible. The paper argues such workers would
+	// be intercepted by other computations; this switch quantifies what
+	// that assumption costs.
+	RolloverWorkers bool
+	// FailureProb is the probability that an assigned job fails instead
+	// of returning a result (a worker crashing or walking away with the
+	// work, the grid unpredictability the paper's introduction
+	// motivates; DAGMan's RETRY handles this in production). A failed
+	// job becomes eligible again and must be reassigned. Zero, the
+	// paper's model, means jobs always succeed.
+	FailureProb float64
+}
+
+// DefaultParams returns the paper's job-time distribution with the given
+// batch parameters.
+func DefaultParams(muBIT, muBS float64) Params {
+	return Params{
+		BatchInterarrival: muBIT,
+		BatchSize:         muBS,
+		JobTimeMean:       1.0,
+		JobTimeStdDev:     0.1,
+	}
+}
+
+func (p Params) validate() error {
+	if p.BatchInterarrival <= 0 {
+		return fmt.Errorf("sim: BatchInterarrival %v <= 0", p.BatchInterarrival)
+	}
+	if p.BatchSize <= 0 {
+		return fmt.Errorf("sim: BatchSize %v <= 0", p.BatchSize)
+	}
+	if p.JobTimeMean <= 0 {
+		return fmt.Errorf("sim: JobTimeMean %v <= 0", p.JobTimeMean)
+	}
+	if p.JobTimeStdDev < 0 {
+		return fmt.Errorf("sim: JobTimeStdDev %v < 0", p.JobTimeStdDev)
+	}
+	if p.FailureProb < 0 || p.FailureProb >= 1 {
+		return fmt.Errorf("sim: FailureProb %v outside [0,1)", p.FailureProb)
+	}
+	return nil
+}
+
+// Policy dispenses eligible jobs to workers. Implementations are
+// stateful per run and must be reset with Start.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Start resets the policy for a fresh run on g. src is the run's
+	// random source; randomized policies draw from it so that equal run
+	// seeds give identical runs.
+	Start(g *dag.Graph, src *rng.Source)
+	// Eligible notifies the policy that job v became eligible.
+	Eligible(v int)
+	// Next returns the next job to assign and true, or false when no
+	// eligible job is unassigned. A returned job is considered assigned.
+	Next() (int, bool)
+}
+
+// Metrics are the per-run measurements of Section 4.1.
+type Metrics struct {
+	// ExecutionTime is the completion time of the last job.
+	ExecutionTime float64
+	// StallProbability is the fraction of batches that stalled: among
+	// batches arriving while at least one job was still unexecuted and
+	// unassigned, those that found no assignable job.
+	StallProbability float64
+	// Utilization is jobs(G) / total requests arriving up to and
+	// including the batch at which the last job was assigned.
+	Utilization float64
+	// Batches is the number of batches that arrived until the last job
+	// was assigned.
+	Batches int
+	// Requests is the total number of worker requests in those batches.
+	Requests int
+}
+
+// completion is a pending job completion event.
+type completion struct {
+	at  float64
+	job int
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates one execution of g under the given policy and returns
+// the metrics. The source provides all randomness, so equal seeds give
+// identical runs.
+func Run(g *dag.Graph, p Params, pol Policy, src *rng.Source) Metrics {
+	return run(g, p, pol, src, nil)
+}
+
+func run(g *dag.Graph, p Params, pol Policy, src *rng.Source, obs Observer) Metrics {
+	if err := p.validate(); err != nil {
+		panic(err)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return Metrics{}
+	}
+
+	remaining := make([]int, n) // unexecuted parents
+	pol.Start(g, src)
+	for v := 0; v < n; v++ {
+		remaining[v] = g.InDegree(v)
+		if remaining[v] == 0 {
+			pol.Eligible(v)
+		}
+	}
+
+	var pending completionHeap
+	now := 0.0
+	nextBatch := 0.0 // first batch arrives at time 0
+	unassigned := n  // jobs not yet handed to a worker
+	executed := 0
+	lastCompletion := 0.0
+	batches, stalls, requests := 0, 0, 0
+	waiting := 0 // rolled-over unfilled requests (RolloverWorkers only)
+
+	assign := func(v int) {
+		if obs != nil {
+			obs.Assigned(now, v)
+		}
+		unassigned--
+		mean := p.JobTimeMean
+		if len(p.JobMeans) > 0 {
+			mean = p.JobMeans[v]
+		}
+		d := src.Normal(mean, p.JobTimeStdDev)
+		if d < 1e-3 {
+			d = 1e-3 // a job cannot run backwards in time
+		}
+		heap.Push(&pending, completion{at: now + d, job: v})
+	}
+
+	for executed < n {
+		// Advance to the earlier of the next batch arrival and the next
+		// completion. Completions at the same instant as a batch are
+		// processed first: their children are eligible for that batch.
+		for len(pending) > 0 && (unassigned == 0 || pending[0].at <= nextBatch) {
+			ev := heap.Pop(&pending).(completion)
+			now = ev.at
+			if p.FailureProb > 0 && src.Float64() < p.FailureProb {
+				// The worker failed: the job is unexecuted and eligible
+				// again, waiting for a future request.
+				unassigned++
+				if obs != nil {
+					obs.Failed(now, ev.job)
+				}
+				pol.Eligible(ev.job)
+				continue
+			}
+			executed++
+			lastCompletion = ev.at
+			if obs != nil {
+				obs.Completed(now, ev.job)
+			}
+			for _, c := range g.Children(ev.job) {
+				remaining[c]--
+				if remaining[c] == 0 {
+					pol.Eligible(c)
+				}
+			}
+			// Rolled-over workers take newly eligible jobs immediately.
+			for waiting > 0 && unassigned > 0 {
+				v, ok := pol.Next()
+				if !ok {
+					break
+				}
+				waiting--
+				assign(v)
+			}
+		}
+		if executed == n {
+			break
+		}
+		if unassigned == 0 {
+			continue // drain remaining completions
+		}
+
+		// Batch arrival.
+		now = nextBatch
+		size := batchSize(src, p.BatchSize)
+		batches++
+		requests += size
+		served := 0
+		for i := 0; i < size; i++ {
+			v, ok := pol.Next()
+			if !ok {
+				break
+			}
+			served++
+			assign(v)
+		}
+		if served == 0 {
+			stalls++
+		}
+		if obs != nil {
+			obs.BatchArrived(now, size, served)
+		}
+		if p.RolloverWorkers {
+			waiting += size - served
+		}
+		nextBatch = now + src.Exp(p.BatchInterarrival)
+	}
+
+	m := Metrics{
+		ExecutionTime: lastCompletion,
+		Batches:       batches,
+		Requests:      requests,
+	}
+	if batches > 0 {
+		m.StallProbability = float64(stalls) / float64(batches)
+	}
+	if requests > 0 {
+		m.Utilization = float64(n) / float64(requests)
+	}
+	return m
+}
+
+// batchSize draws the discretized exponential batch size.
+func batchSize(src *rng.Source, mean float64) int {
+	x := src.Exp(mean)
+	s := int(math.Round(x))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

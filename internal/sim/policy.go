@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+// Oblivious is the paper's oblivious scheduling regimen: a fixed total
+// order P over the jobs; when requests arrive, the eligible unassigned
+// jobs smallest under P are handed out. With P = the prio tool's
+// schedule this is the PRIO algorithm.
+type Oblivious struct {
+	name string
+	rank []int
+	// eligible holds the ranks of the currently eligible, unassigned
+	// jobs; Next pops the minimum rank.
+	eligible *btree.Tree[int]
+	order    []int // rank -> job
+}
+
+// NewOblivious builds an oblivious policy from a total order over all
+// jobs of the dag it will run on (order[i] executes with priority i).
+func NewOblivious(name string, order []int) *Oblivious {
+	return &Oblivious{name: name, order: append([]int(nil), order...)}
+}
+
+// NewPRIO builds the PRIO policy for g by running the full prio
+// heuristic pipeline.
+func NewPRIO(g *dag.Graph) *Oblivious {
+	return NewOblivious("PRIO", core.Prioritize(g).Order)
+}
+
+// Name implements Policy.
+func (o *Oblivious) Name() string { return o.name }
+
+// Start implements Policy.
+func (o *Oblivious) Start(g *dag.Graph, _ *rng.Source) {
+	if len(o.order) != g.NumNodes() {
+		panic(fmt.Sprintf("sim: order covers %d jobs, dag has %d", len(o.order), g.NumNodes()))
+	}
+	o.rank = make([]int, len(o.order))
+	for r, v := range o.order {
+		o.rank[v] = r
+	}
+	o.eligible = btree.New(8, func(a, b int) bool { return a < b })
+}
+
+// Eligible implements Policy.
+func (o *Oblivious) Eligible(v int) { o.eligible.Insert(o.rank[v]) }
+
+// Next implements Policy.
+func (o *Oblivious) Next() (int, bool) {
+	r, ok := o.eligible.DeleteMin()
+	if !ok {
+		return 0, false
+	}
+	return o.order[r], true
+}
+
+// FIFO is DAGMan's regimen: eligible jobs queue in the order they became
+// eligible and are assigned from the front.
+type FIFO struct {
+	queue []int
+	head  int
+}
+
+// NewFIFO returns a FIFO policy.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Name implements Policy.
+func (f *FIFO) Name() string { return "FIFO" }
+
+// Start implements Policy.
+func (f *FIFO) Start(g *dag.Graph, _ *rng.Source) {
+	f.queue = f.queue[:0]
+	f.head = 0
+}
+
+// Eligible implements Policy.
+func (f *FIFO) Eligible(v int) { f.queue = append(f.queue, v) }
+
+// Next implements Policy.
+func (f *FIFO) Next() (int, bool) {
+	if f.head >= len(f.queue) {
+		return 0, false
+	}
+	v := f.queue[f.head]
+	f.head++
+	return v, true
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RatioCI is the result of the Section 4.2 confidence-interval procedure
+// for a ratio of two means (e.g. mean PRIO execution time over mean FIFO
+// execution time). Valid is false when the interval cannot be reported
+// (the paper omits the interval whenever a denominator sample is zero).
+type RatioCI struct {
+	Lo, Hi    float64 // trimmed confidence interval bounds
+	Median    float64 // median of the empirical ratio distribution
+	Mean, Std float64 // moments of the empirical ratio distribution
+	Valid     bool
+}
+
+func (c RatioCI) String() string {
+	if !c.Valid {
+		return "ratio: (no confidence interval: zero denominator)"
+	}
+	return fmt.Sprintf("median=%.4f ci=[%.4f, %.4f] mean=%.4f std=%.4f",
+		c.Median, c.Lo, c.Hi, c.Mean, c.Std)
+}
+
+// RatioInterval implements the paper's procedure: given the empirical
+// sampling distribution num of the numerator statistic (p samples, each
+// an average of q measurements) and the distribution den of the
+// denominator statistic, it forms all p_num x p_den pairwise ratios,
+// removes the (100-conf)/2 percent smallest and largest values, and
+// reports the surviving range as the confidence interval, together with
+// the median, mean, and standard deviation of the full ratio
+// distribution. conf is in percent (the paper uses 95).
+//
+// If any denominator sample is zero the interval is not reported
+// (Valid=false), matching "Whenever we encounter y = 0, we do not report
+// any confidence interval."
+func RatioInterval(num, den []float64, conf float64) RatioCI {
+	if len(num) == 0 || len(den) == 0 {
+		return RatioCI{}
+	}
+	if conf <= 0 || conf >= 100 {
+		panic(fmt.Sprintf("stats: confidence %v out of (0,100)", conf))
+	}
+	for _, y := range den {
+		if y == 0 {
+			return RatioCI{}
+		}
+	}
+	ratios := make([]float64, 0, len(num)*len(den))
+	for _, x := range num {
+		for _, y := range den {
+			ratios = append(ratios, x/y)
+		}
+	}
+	sort.Float64s(ratios)
+	tail := (100 - conf) / 2 / 100
+	cut := int(math.Floor(tail * float64(len(ratios))))
+	// Guard degenerate tiny distributions: always keep at least one value.
+	if 2*cut >= len(ratios) {
+		cut = (len(ratios) - 1) / 2
+	}
+	kept := ratios[cut : len(ratios)-cut]
+	return RatioCI{
+		Lo:     kept[0],
+		Hi:     kept[len(kept)-1],
+		Median: Median(ratios),
+		Mean:   Mean(ratios),
+		Std:    StdDev(ratios),
+		Valid:  true,
+	}
+}
+
+// SamplingDistribution groups q raw measurements at a time into p sample
+// means, the paper's construction of an empirical sampling distribution
+// of the mean. raw must contain exactly p*q values laid out sample-major
+// (the first q values form sample 0, and so on).
+func SamplingDistribution(raw []float64, p, q int) []float64 {
+	if p <= 0 || q <= 0 {
+		panic(fmt.Sprintf("stats: invalid sampling shape p=%d q=%d", p, q))
+	}
+	if len(raw) != p*q {
+		panic(fmt.Sprintf("stats: raw has %d values, want p*q=%d", len(raw), p*q))
+	}
+	out := make([]float64, p)
+	for i := 0; i < p; i++ {
+		out[i] = Mean(raw[i*q : (i+1)*q])
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package stats provides the statistical machinery of the paper's
+// evaluation (Section 4.2): summary statistics, empirical sampling
+// distributions (p samples, each the average of q measurements), and the
+// trimmed ratio confidence intervals used in Figures 6-9.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN for empty input.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs (average of middle two for even length),
+// or NaN for empty input. xs is not modified.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary collects the descriptive statistics reported for each
+// experiment cell.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Med, Max float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		s.Mean, s.Std, s.Min, s.Med, s.Max = nan, nan, nan, nan, nan
+		return s
+	}
+	s.Mean = Mean(xs)
+	s.Std = StdDev(xs)
+	s.Med = Median(xs)
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.3g med=%.4g min=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Med, s.Min, s.Max)
+}
+
+// Accumulator is a Welford online mean/variance accumulator, used where
+// storing every measurement would be wasteful.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of accumulated values.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (NaN when empty).
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.mean
+}
+
+// Variance returns the running population variance (NaN when empty).
+func (a *Accumulator) Variance() float64 {
+	if a.n == 0 {
+		return math.NaN()
+	}
+	return a.m2 / float64(a.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }

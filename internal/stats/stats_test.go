@@ -1,0 +1,274 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if !math.IsNaN(Variance(nil)) {
+		t.Fatal("Variance(nil) should be NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even Median = %v", got)
+	}
+	if got := Median([]float64{7}); got != 7 {
+		t.Fatalf("singleton Median = %v", got)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("Median(nil) should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {12.5, 15},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// input must not be mutated
+	if xs[0] != 10 || xs[4] != 50 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p>100")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Med != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if !almostEq(s.Std, math.Sqrt(2), 1e-12) {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Fatalf("empty Summary = %+v", empty)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	r := rng.New(17)
+	var acc Accumulator
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := r.Normal(5, 2)
+		acc.Add(x)
+		xs = append(xs, x)
+	}
+	if acc.N() != 1000 {
+		t.Fatalf("N = %d", acc.N())
+	}
+	if !almostEq(acc.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("acc mean %v != batch %v", acc.Mean(), Mean(xs))
+	}
+	if !almostEq(acc.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("acc var %v != batch %v", acc.Variance(), Variance(xs))
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var acc Accumulator
+	if !math.IsNaN(acc.Mean()) || !math.IsNaN(acc.Variance()) || !math.IsNaN(acc.StdDev()) {
+		t.Fatal("empty accumulator should be NaN")
+	}
+}
+
+func TestRatioIntervalConstant(t *testing.T) {
+	num := []float64{2, 2, 2}
+	den := []float64{4, 4, 4}
+	ci := RatioInterval(num, den, 95)
+	if !ci.Valid {
+		t.Fatal("interval should be valid")
+	}
+	if ci.Lo != 0.5 || ci.Hi != 0.5 || ci.Median != 0.5 || ci.Mean != 0.5 {
+		t.Fatalf("CI = %+v", ci)
+	}
+	if ci.Std != 0 {
+		t.Fatalf("Std = %v, want 0", ci.Std)
+	}
+}
+
+func TestRatioIntervalZeroDenominator(t *testing.T) {
+	ci := RatioInterval([]float64{1, 2}, []float64{3, 0}, 95)
+	if ci.Valid {
+		t.Fatal("zero denominator must invalidate the interval (paper Section 4.2)")
+	}
+	if ci.String() == "" {
+		t.Fatal("invalid CI should still describe itself")
+	}
+}
+
+func TestRatioIntervalEmpty(t *testing.T) {
+	if RatioInterval(nil, []float64{1}, 95).Valid {
+		t.Fatal("empty numerator should be invalid")
+	}
+	if RatioInterval([]float64{1}, nil, 95).Valid {
+		t.Fatal("empty denominator should be invalid")
+	}
+}
+
+func TestRatioIntervalTrimming(t *testing.T) {
+	// 100 numerator samples 1..100, denominator {1}: ratios are 1..100.
+	num := make([]float64, 100)
+	for i := range num {
+		num[i] = float64(i + 1)
+	}
+	ci := RatioInterval(num, []float64{1}, 95)
+	if !ci.Valid {
+		t.Fatal("should be valid")
+	}
+	// 2.5% of 100 = 2 values trimmed from each side: kept 3..98.
+	if ci.Lo != 3 || ci.Hi != 98 {
+		t.Fatalf("CI = [%v, %v], want [3, 98]", ci.Lo, ci.Hi)
+	}
+	if ci.Median != 50.5 {
+		t.Fatalf("Median = %v, want 50.5", ci.Median)
+	}
+}
+
+func TestRatioIntervalContainsTruth(t *testing.T) {
+	// num ~ N(0.9, 0.02), den ~ N(1.0, 0.02): the true ratio 0.9 should
+	// lie well inside a 95% CI built from the sampling distributions.
+	r := rng.New(3)
+	num := make([]float64, 200)
+	den := make([]float64, 200)
+	for i := range num {
+		num[i] = r.Normal(0.9, 0.02)
+		den[i] = r.Normal(1.0, 0.02)
+	}
+	ci := RatioInterval(num, den, 95)
+	if !ci.Valid || ci.Lo > 0.9 || ci.Hi < 0.9 {
+		t.Fatalf("CI %+v does not contain 0.9", ci)
+	}
+	if ci.Hi >= 1.0 {
+		t.Fatalf("CI %+v should exclude 1.0 for a 10%% gap", ci)
+	}
+}
+
+func TestRatioIntervalConfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for conf=0")
+		}
+	}()
+	RatioInterval([]float64{1}, []float64{1}, 0)
+}
+
+func TestSamplingDistribution(t *testing.T) {
+	raw := []float64{1, 3, 5, 7, 2, 4}
+	got := SamplingDistribution(raw, 3, 2)
+	want := []float64{2, 6, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SamplingDistribution = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSamplingDistributionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { SamplingDistribution([]float64{1, 2}, 0, 2) },
+		func() { SamplingDistribution([]float64{1, 2}, 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: CI bounds bracket the median, and widening confidence widens
+// the interval.
+func TestQuickCIOrdering(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(40)
+		num := make([]float64, n)
+		den := make([]float64, n)
+		for i := 0; i < n; i++ {
+			num[i] = 0.5 + r.Float64()
+			den[i] = 0.5 + r.Float64()
+		}
+		c95 := RatioInterval(num, den, 95)
+		c80 := RatioInterval(num, den, 80)
+		if !c95.Valid || !c80.Valid {
+			return false
+		}
+		return c95.Lo <= c95.Median && c95.Median <= c95.Hi &&
+			c95.Lo <= c80.Lo && c80.Hi <= c95.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(0, 10)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
