@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz sweeps examples clean
+.PHONY: all build test check race cover bench fuzz sweeps examples clean
 
 all: build test
 
@@ -12,6 +12,12 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# The full gate: vet plus the whole suite under the race detector
+# (exercises the parallel pipeline's differential tests).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./internal/sim ./internal/core
@@ -45,6 +51,7 @@ examples:
 	$(GO) run ./examples/theory
 	$(GO) run ./examples/dagmanfile
 	$(GO) run ./examples/sweep
+	$(GO) run ./examples/parallel
 	$(GO) run ./examples/airsn
 
 clean:

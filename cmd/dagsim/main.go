@@ -9,6 +9,13 @@
 //
 //	dagsim -dag workflow.dag [-policy prio] [-bit 1] [-bs 16]
 //	       [-seed 1] [-trace] [-maxevents 200]
+//	       [-parallel N] [-cache]
+//
+// -parallel and -cache tune the PRIO scheduling pipeline that backs the
+// prio policies: -parallel N fans the per-component Recurse phase over
+// N workers (1 = sequential reference, <=0 = all CPUs) and -cache
+// memoizes component schedules and the transitive reduction. Both leave
+// the schedule — and therefore the simulation — bit-identical.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -41,6 +49,8 @@ func run(args []string, w io.Writer) error {
 	fail := fs.Float64("fail", 0, "per-assignment worker failure probability")
 	trace := fs.Bool("trace", false, "print the event trace")
 	maxEvents := fs.Int("maxevents", 200, "truncate the trace after this many events (0 = unlimited)")
+	parallel := fs.Int("parallel", 1, "Recurse-phase worker count for the prio pipeline (1 = sequential reference, <=0 = all CPUs)")
+	useCache := fs.Bool("cache", false, "memoize component schedules and the transitive reduction in the prio pipeline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,7 +59,14 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	factory, err := sim.PolicyFactory(*policy, g)
+	copts := core.Options{Parallel: *parallel}
+	if *parallel <= 0 {
+		copts.Parallel = -1 // one worker per logical CPU
+	}
+	if *useCache {
+		copts.Cache = core.NewCache()
+	}
+	factory, err := sim.PolicyFactoryOpts(*policy, g, copts)
 	if err != nil {
 		return err
 	}

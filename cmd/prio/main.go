@@ -13,6 +13,8 @@
 //	-dot file    write the prioritized dag in Graphviz format
 //	-stats       print scheduling statistics to stderr
 //	-naive       use the pre-engineering naive Combine phase (Section 3.5)
+//	-parallel N  Recurse-phase workers (1 = sequential reference; <=0 = all CPUs)
+//	-cache       memoize component schedules and the transitive reduction
 //
 // Several DAGMan files may be given with -inplace; they are prioritized
 // in parallel.
@@ -31,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dagman"
+	"repro/internal/decompose"
 )
 
 func main() {
@@ -48,6 +51,8 @@ func run(args []string, w io.Writer) error {
 	dotOut := fs.String("dot", "", "write the prioritized dag in Graphviz dot format")
 	showStats := fs.Bool("stats", false, "print scheduling statistics to stderr")
 	naive := fs.Bool("naive", false, "use the naive Combine implementation")
+	parallel := fs.Int("parallel", 1, "Recurse-phase worker count (1 = sequential reference, <=0 = all CPUs)")
+	useCache := fs.Bool("cache", false, "memoize component schedules and the transitive reduction")
 	theoretical := fs.Bool("theoretical", false, "also report whether the idealized Section 2.2 algorithm handles this dag")
 	explain := fs.String("explain", "", "explain the priority assigned to this job (comma list of job names)")
 	if err := fs.Parse(args); err != nil {
@@ -60,7 +65,7 @@ func run(args []string, w io.Writer) error {
 		if !*inplace {
 			return fmt.Errorf("multiple inputs require -inplace")
 		}
-		return runParallel(fs.Args(), *submit, *naive)
+		return runParallel(fs.Args(), *submit, *naive, *parallel, *useCache, *showStats)
 	}
 	input := fs.Arg(0)
 
@@ -81,9 +86,15 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	opts := core.Options{}
+	opts := core.Options{Parallel: *parallel}
+	if *parallel <= 0 {
+		opts.Parallel = -1 // one worker per logical CPU
+	}
 	if *naive {
 		opts.Combine = core.CombineNaive
+	}
+	if *useCache {
+		opts.Cache = core.NewCache()
 	}
 	start := time.Now()
 	sched := core.PrioritizeOpts(g, opts)
@@ -125,6 +136,11 @@ func run(args []string, w io.Writer) error {
 
 	if *showStats {
 		printStats(sched, elapsed)
+		if opts.Cache != nil {
+			cs := opts.Cache.Stats()
+			fmt.Fprintf(os.Stderr, "schedule cache: %d hits, %d misses (%.1f%% hit rate), %d distinct shapes\n",
+				cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Entries)
+		}
 	}
 	if *explain != "" {
 		for _, name := range strings.Split(*explain, ",") {
@@ -137,7 +153,12 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	if *theoretical {
-		if _, err := core.TheoreticalSchedule(g); err != nil {
+		var dopts decompose.Options
+		if opts.Cache != nil {
+			// Share the Step 1 reduction already computed by the heuristic.
+			dopts.ReduceCache = opts.Cache.ReduceCache()
+		}
+		if _, err := core.TheoreticalScheduleOpts(g, dopts); err != nil {
 			fmt.Fprintf(os.Stderr, "theoretical algorithm: FAILS (%v); the heuristic schedule above is the graceful fallback\n", err)
 		} else {
 			fmt.Fprintln(os.Stderr, "theoretical algorithm: succeeds; the schedule is IC-optimal")
@@ -147,26 +168,31 @@ func run(args []string, w io.Writer) error {
 }
 
 // runParallel prioritizes several DAGMan files concurrently, rewriting
-// each in place.
-func runParallel(inputs []string, submit, naive bool) error {
+// each in place. With -cache one schedule cache (and its embedded
+// reduction cache) is shared by every file, so repeated component
+// shapes across a batch of workflows are scheduled once.
+func runParallel(inputs []string, submit, naive bool, parallel int, useCache, showStats bool) error {
+	opts := core.Options{Parallel: parallel}
+	if parallel <= 0 {
+		opts.Parallel = -1
+	}
+	if naive {
+		opts.Combine = core.CombineNaive
+	}
+	if useCache {
+		opts.Cache = core.NewCache()
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(inputs))
 	sem := make(chan struct{}, runtime.NumCPU())
+	start := time.Now()
 	for i, input := range inputs {
 		wg.Add(1)
 		go func(i int, input string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			args := []string{"-inplace"}
-			if submit {
-				args = append(args, "-submit")
-			}
-			if naive {
-				args = append(args, "-naive")
-			}
-			args = append(args, input)
-			if err := run(args, io.Discard); err != nil {
+			if err := instrumentInPlace(input, submit, opts); err != nil {
 				errs[i] = fmt.Errorf("%s: %w", input, err)
 			}
 		}(i, input)
@@ -176,6 +202,45 @@ func runParallel(inputs []string, submit, naive bool) error {
 		if err != nil {
 			return err
 		}
+	}
+	if showStats {
+		fmt.Fprintf(os.Stderr, "prioritized %d files in %v\n", len(inputs), time.Since(start).Round(time.Microsecond))
+		if opts.Cache != nil {
+			cs := opts.Cache.Stats()
+			fmt.Fprintf(os.Stderr, "schedule cache: %d hits, %d misses (%.1f%% hit rate), %d distinct shapes\n",
+				cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Entries)
+		}
+	}
+	return nil
+}
+
+// instrumentInPlace runs the pipeline on one DAGMan file and rewrites
+// it (and optionally its submit files) in place.
+func instrumentInPlace(input string, submit bool, opts core.Options) error {
+	f, err := dagman.ParseFile(input)
+	if err != nil {
+		return err
+	}
+	if len(f.Splices) > 0 {
+		f, err = f.Flatten(dagman.LoadSplice(filepath.Dir(input)))
+		if err != nil {
+			return err
+		}
+	}
+	g, err := f.Graph()
+	if err != nil {
+		return err
+	}
+	sched := core.PrioritizeOpts(g, opts)
+	priorities := make(map[string]int, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		priorities[g.Name(v)] = sched.Priority[v]
+	}
+	if err := os.WriteFile(input, []byte(f.Instrument(priorities)), 0o644); err != nil {
+		return err
+	}
+	if submit {
+		return instrumentSubmitFiles(f, filepath.Dir(input))
 	}
 	return nil
 }

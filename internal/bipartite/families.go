@@ -1,12 +1,3 @@
-// Package bipartite implements the building blocks of the scheduling
-// theory (Section 2.2, Fig. 2): the bipartite dag families with known
-// IC-optimal schedules — (s,t)-W-dags, (s,t)-M-dags, n-N-dags,
-// n-Cycle-dags, and bipartite cliques — together with recognizers that
-// classify an arbitrary connected bipartite dag into one of the families
-// and produce its explicit IC-optimal source order.
-//
-// A "bipartite dag" here is the paper's two-level notion: the node set
-// splits into sources U and sinks V with every arc running U -> V.
 package bipartite
 
 import (

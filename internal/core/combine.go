@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/btree"
 	"repro/internal/dag"
 )
@@ -114,18 +115,24 @@ type profileGroup struct {
 func combineBTree(super *dag.Graph, pids []int, pt *profileTable) []int {
 	n := super.NumNodes()
 	indeg := make([]int, n)
-	groups := make(map[int]*profileGroup)
+	// Profile ids are small dense integers, so the live groups are a
+	// slice indexed by pid plus a bitset of occupied slots: the pMin
+	// scans walk set bits instead of a map, which both removes the
+	// hashing from the hot loop and makes the scan order deterministic.
+	groups := make([]*profileGroup, pt.numProfiles())
+	live := bitset.New(pt.numProfiles())
 	tree := btree.New(8, groupKeyLess)
 
 	addComp := func(c int) *profileGroup {
 		pid := pids[c]
-		g, ok := groups[pid]
-		if !ok {
+		g := groups[pid]
+		if g == nil {
 			g = &profileGroup{
 				pid:   pid,
 				comps: btree.New(8, func(a, b int) bool { return a < b }),
 			}
 			groups[pid] = g
+			live.Add(pid)
 		}
 		g.comps.Insert(c)
 		g.count++
@@ -133,14 +140,15 @@ func combineBTree(super *dag.Graph, pids []int, pt *profileTable) []int {
 	}
 	computePMin := func(g *profileGroup) float64 {
 		p := math.Inf(1)
-		for qid := range groups {
+		live.ForEach(func(qid int) bool {
 			if qid == g.pid && g.count < 2 {
-				continue
+				return true
 			}
 			if r := pt.r(g.pid, qid); r < p {
 				p = r
 			}
-		}
+			return true
+		})
 		return p
 	}
 	refreshKey := func(g *profileGroup, inTree bool) {
@@ -152,15 +160,18 @@ func combineBTree(super *dag.Graph, pids []int, pt *profileTable) []int {
 		tree.Insert(g.key)
 	}
 	rebuildAll := func() {
-		for _, g := range groups {
-			tree.Delete(g.key)
-		}
-		for _, g := range groups {
+		live.ForEach(func(pid int) bool {
+			tree.Delete(groups[pid].key)
+			return true
+		})
+		live.ForEach(func(pid int) bool {
+			g := groups[pid]
 			g.pMin = computePMin(g)
 			mc, _ := g.comps.Min()
 			g.key = groupKey{p: g.pMin, minComp: mc, pid: g.pid}
 			tree.Insert(g.key)
-		}
+			return true
+		})
 	}
 
 	for v := 0; v < n; v++ {
@@ -180,7 +191,8 @@ func combineBTree(super *dag.Graph, pids []int, pt *profileTable) []int {
 		g.count--
 		if g.count == 0 {
 			tree.Delete(g.key)
-			delete(groups, g.pid)
+			groups[g.pid] = nil
+			live.Remove(g.pid)
 			// The departed profile may have been the minimum for others.
 			rebuildAll()
 		} else {
@@ -196,7 +208,7 @@ func combineBTree(super *dag.Graph, pids []int, pt *profileTable) []int {
 				continue
 			}
 			pid := pids[c]
-			if g2, ok := groups[pid]; ok {
+			if g2 := groups[pid]; g2 != nil {
 				wasAlone := g2.count == 1
 				g2.comps.Insert(c)
 				g2.count++
@@ -211,15 +223,17 @@ func combineBTree(super *dag.Graph, pids []int, pt *profileTable) []int {
 				g2.pMin = computePMin(g2)
 				refreshKey(g2, false)
 				// A new profile can lower every other group's minimum.
-				for _, h := range groups {
-					if h == g2 {
-						continue
+				live.ForEach(func(hpid int) bool {
+					if hpid == pid {
+						return true
 					}
-					if r := pt.r(h.pid, pid); r < h.pMin {
+					h := groups[hpid]
+					if r := pt.r(hpid, pid); r < h.pMin {
 						h.pMin = r
 						refreshKey(h, true)
 					}
-				}
+					return true
+				})
 			}
 		}
 	}

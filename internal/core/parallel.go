@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/decompose"
+)
+
+// The parallel Recurse phase. The heuristic's divide/recurse/combine
+// shape is embarrassingly parallel in the middle: after the Divide
+// phase, every component's classification, schedule, and eligibility
+// trace is independent of every other component's. scheduleComponents
+// fans that work out over a bounded worker pool and merges the results
+// into component-index order, so the parallel pipeline's output is
+// bit-identical to the sequential reference (which remains the oracle
+// for the differential tests).
+
+// recurseWorkers normalizes an Options.Parallel value to a worker
+// count: <= 0 means one worker per logical CPU, 1 means the sequential
+// reference path, and any other value is used as given.
+func recurseWorkers(parallel int) int {
+	if parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallel
+}
+
+// scheduleComponents runs the Recurse phase (Step 3 + the Step 4
+// eligibility traces) for every component, on `workers` goroutines when
+// workers > 1. The result slice is indexed by component, independent of
+// which worker produced each entry.
+func scheduleComponents(comps []*decompose.Component, workers int, cache *Cache) []*ComponentSchedule {
+	out := make([]*ComponentSchedule, len(comps))
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	if workers <= 1 {
+		for i, c := range comps {
+			out[i] = recurseComponent(c, cache)
+		}
+		return out
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	panics := make(chan interface{}, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(comps) {
+					return
+				}
+				out[i] = recurseComponent(comps[i], cache)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		// Re-raise on the caller's goroutine so the parallel path keeps
+		// the sequential path's contract (an invalid component schedule
+		// is a bug and panics).
+		panic(r)
+	default:
+	}
+	return out
+}
+
+// recurseComponent produces one component's schedule and eligibility
+// profile, consulting the memo cache when one is supplied. On a hit the
+// Order and Profile slices are shared with the cache entry (and with
+// every other component of the same shape); they are never mutated
+// downstream.
+func recurseComponent(c *decompose.Component, cache *Cache) *ComponentSchedule {
+	if cache != nil {
+		if e, ok := cache.lookup(c.Sub); ok {
+			return &ComponentSchedule{Comp: c, Family: e.family, Order: e.order, Profile: e.profile}
+		}
+	}
+	cs := scheduleComponent(c)
+	profile, err := EligibilityTrace(c.Sub, cs.Order)
+	if err != nil {
+		panic(fmt.Sprintf("core: component %d schedule invalid: %v", c.Index, err))
+	}
+	cs.Profile = profile
+	if cache != nil {
+		cache.store(c.Sub, cs)
+	}
+	return cs
+}

@@ -3,6 +3,10 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
 )
 
 // PriorityR returns the largest r such that Ci has r-priority over Cj
@@ -49,17 +53,26 @@ func PriorityR(ei, ej []int) float64 {
 // the Combine phase by interned profile rather than by component
 // collapses the pairwise priority work to the handful of distinct
 // shapes.
+//
+// The pairwise cache is a dense matrix with a bitset of computed cells
+// per row: profile ids are small dense integers, so r(i, j) is two
+// slice indexes and one bit test instead of hashing a map key on every
+// Combine comparison. A profileTable is not safe for concurrent use;
+// the parallel pipeline interns profiles and consults r only from the
+// single merge goroutine.
 type profileTable struct {
 	ids      map[string]int
 	profiles [][]int
-	rCache   map[[2]int]float64
+	// rVals[i][j] caches PriorityR(profiles[i], profiles[j]);
+	// rDone[i].Contains(j) marks the cells that have been computed.
+	// Both are (re)sized by growR the first time r is called after new
+	// profiles were interned.
+	rVals [][]float64
+	rDone []*bitset.Set
 }
 
 func newProfileTable() *profileTable {
-	return &profileTable{
-		ids:    make(map[string]int),
-		rCache: make(map[[2]int]float64),
-	}
+	return &profileTable{ids: make(map[string]int)}
 }
 
 // intern returns a stable id for the profile, assigning a new one on
@@ -77,13 +90,91 @@ func (pt *profileTable) intern(profile []int) int {
 
 // r returns PriorityR between two interned profiles, cached.
 func (pt *profileTable) r(i, j int) float64 {
-	k := [2]int{i, j}
-	if v, ok := pt.rCache[k]; ok {
-		return v
+	if len(pt.rDone) != len(pt.profiles) {
+		pt.growR()
+	}
+	if pt.rDone[i].Contains(j) {
+		return pt.rVals[i][j]
 	}
 	v := PriorityR(pt.profiles[i], pt.profiles[j])
-	pt.rCache[k] = v
+	pt.rVals[i][j] = v
+	pt.rDone[i].Add(j)
 	return v
+}
+
+// numProfiles returns the number of distinct interned profiles.
+func (pt *profileTable) numProfiles() int { return len(pt.profiles) }
+
+// precomputeAll fills every cell of the pairwise priority matrix,
+// fanning rows out over `workers` goroutines. The Combine phase's
+// group-minimum rebuilds touch nearly every profile pair on wide
+// superdags, and each cell is a pure function of two interned profiles,
+// so precomputing the matrix parallelizes the pipeline's dominant cost
+// on many-distinct-component dags without changing a single value the
+// sequential path would produce. Each worker owns whole rows, so no two
+// goroutines share an rVals row or rDone set.
+func (pt *profileTable) precomputeAll(workers int) {
+	if len(pt.rDone) != len(pt.profiles) {
+		pt.growR()
+	}
+	n := len(pt.profiles)
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			pt.fillRow(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				pt.fillRow(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fillRow computes every missing cell of row i.
+func (pt *profileTable) fillRow(i int) {
+	row, done := pt.rVals[i], pt.rDone[i]
+	for j := range row {
+		if !done.Contains(j) {
+			row[j] = PriorityR(pt.profiles[i], pt.profiles[j])
+			done.Add(j)
+		}
+	}
+}
+
+// growR resizes the dense pairwise cache to the current profile count,
+// preserving already-computed cells. In the pipeline all interning
+// happens before the first r call, so this runs once.
+func (pt *profileTable) growR() {
+	n := len(pt.profiles)
+	vals := make([][]float64, n)
+	done := make([]*bitset.Set, n)
+	for i := 0; i < n; i++ {
+		vals[i] = make([]float64, n)
+		done[i] = bitset.New(n)
+		if i < len(pt.rVals) {
+			copy(vals[i], pt.rVals[i])
+			pt.rDone[i].ForEach(func(j int) bool { done[i].Add(j); return true })
+		}
+	}
+	pt.rVals, pt.rDone = vals, done
 }
 
 func profileKey(profile []int) string {

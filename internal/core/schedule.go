@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/bipartite"
 	"repro/internal/btree"
 	"repro/internal/dag"
@@ -10,10 +8,31 @@ import (
 )
 
 // Options tunes the prioritization pipeline; the zero value is the
-// production configuration (bipartite fast path + B-tree combine).
+// production configuration (bipartite fast path + B-tree combine,
+// sequential Recurse, no memoization).
 type Options struct {
 	Combine   CombineStrategy
 	Decompose decompose.Options
+	// Parallel sets the Recurse-phase worker count: 0 or 1 runs the
+	// sequential reference path (so the zero Options value stays the
+	// reference configuration), values above 1 fan the per-component
+	// work out over that many goroutines, and negative values use one
+	// worker per logical CPU. The parallel output is bit-identical to
+	// the sequential output (the differential tests enforce this).
+	Parallel int
+	// Cache, when non-nil, memoizes component schedules by exact
+	// structural signature and transitive reductions by graph
+	// fingerprint, across components and across calls. The same Cache
+	// may be shared by concurrent PrioritizeOpts calls.
+	Cache *Cache
+}
+
+// workers returns the Recurse worker count encoded by Parallel.
+func (o Options) workers() int {
+	if o.Parallel == 0 {
+		return 1
+	}
+	return recurseWorkers(o.Parallel)
 }
 
 // ComponentSchedule is the Recurse-phase result for one component.
@@ -61,21 +80,32 @@ func Prioritize(g *dag.Graph) *Schedule { return PrioritizeOpts(g, Options{}) }
 
 // PrioritizeOpts runs the full heuristic with explicit options.
 func PrioritizeOpts(g *dag.Graph, opts Options) *Schedule {
-	dec := decompose.DecomposeOpts(g, opts.Decompose)
-	pt := newProfileTable()
+	dopts := opts.Decompose
+	if opts.Cache != nil && dopts.ReduceCache == nil {
+		dopts.ReduceCache = opts.Cache.ReduceCache()
+	}
+	dec := decompose.DecomposeOpts(g, dopts)
 
-	comps := make([]*ComponentSchedule, len(dec.Components))
-	pids := make([]int, len(dec.Components))
-	for i, c := range dec.Components {
-		cs := scheduleComponent(c)
-		profile, err := EligibilityTrace(c.Sub, cs.Order)
-		if err != nil {
-			panic(fmt.Sprintf("core: component %d schedule invalid: %v", i, err))
-		}
-		cs.Profile = profile
-		cs.ProfileID = pt.intern(profile)
-		comps[i] = cs
+	// Recurse: per-component schedules, fanned out when requested.
+	comps := scheduleComponents(dec.Components, opts.workers(), opts.Cache)
+
+	// Profile interning is sequential and in component order, so ids —
+	// and therefore the Combine phase — never depend on worker timing.
+	pt := newProfileTable()
+	pids := make([]int, len(comps))
+	for i, cs := range comps {
+		cs.ProfileID = pt.intern(cs.Profile)
 		pids[i] = cs.ProfileID
+	}
+
+	// In parallel mode, fill the pairwise r-priority matrix up front
+	// across the workers; Combine then only reads cached cells. The
+	// values are pure functions of the interned profiles, so this is
+	// invisible in the output. The sequential reference keeps the lazy
+	// evaluation, which computes only the pairs Combine actually asks
+	// for.
+	if w := opts.workers(); w > 1 {
+		pt.precomputeAll(w)
 	}
 
 	compOrder := combineOrder(dec.Super, pids, pt, opts.Combine)

@@ -1,9 +1,7 @@
-// Package core implements the paper's primary contribution: the
-// heuristic scheduling algorithm of Section 3.1 (Recurse and Combine
-// phases on top of the decompose package's Divide phase) and the prio
-// prioritization pipeline built on it, together with the FIFO reference
-// schedule and the eligibility traces E(t) used throughout the
-// evaluation (Fig. 4).
+// The FIFO reference schedule and the eligibility traces E(t) used
+// throughout the evaluation (Fig. 4). See doc.go for the package
+// overview.
+
 package core
 
 import (

@@ -1,0 +1,122 @@
+package dag
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// Structural fingerprints and the transitive-reduction cache. The prio
+// pipeline reduces the same graph several times per invocation (once in
+// the heuristic's Divide phase, again in the theoretical algorithm, and
+// once per policy in the simulator), and the reduction is one of the
+// most expensive passes on the big paper dags. A fingerprint keyed
+// cache lets every stage share one reduction.
+
+// fingerprintSeed is fixed for the process so fingerprints are
+// comparable across graphs (but not across processes; they are never
+// persisted).
+var fingerprintSeed = maphash.MakeSeed()
+
+// Fingerprint returns a structural hash of the graph: node count, node
+// names in index order, and every arc. Two graphs with equal
+// fingerprints are equal with overwhelming probability, but callers
+// that must not confuse distinct graphs should verify with StructuralEq
+// (the ReduceCache does).
+func (g *Graph) Fingerprint() uint64 {
+	var h maphash.Hash
+	h.SetSeed(fingerprintSeed)
+	var buf [8]byte
+	writeInt := func(x int) {
+		v := uint64(x)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	writeInt(len(g.names))
+	for _, name := range g.names {
+		h.WriteString(name)
+		h.WriteByte(0)
+	}
+	writeInt(g.numArcs)
+	for u := range g.children {
+		writeInt(-u - 1) // delimiter: distinguishes adjacency boundaries
+		for _, v := range g.children[u] {
+			writeInt(v)
+		}
+	}
+	return h.Sum64()
+}
+
+// StructuralEq reports whether g and o have identical node names (in
+// index order) and identical adjacency (including arc insertion order).
+func (g *Graph) StructuralEq(o *Graph) bool {
+	if g == o {
+		return true
+	}
+	if len(g.names) != len(o.names) || g.numArcs != o.numArcs {
+		return false
+	}
+	for i, name := range g.names {
+		if o.names[i] != name {
+			return false
+		}
+	}
+	for u := range g.children {
+		gu, ou := g.children[u], o.children[u]
+		if len(gu) != len(ou) {
+			return false
+		}
+		for i, v := range gu {
+			if ou[i] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ReduceCache memoizes transitive reductions by graph fingerprint. It
+// is safe for concurrent use. Cached results are shared: callers must
+// treat the returned graph and shortcut list as immutable, which every
+// analysis pass in this repository already does (see the package
+// comment).
+type ReduceCache struct {
+	mu      sync.Mutex
+	entries map[uint64]*reduceEntry
+}
+
+type reduceEntry struct {
+	source    *Graph // the graph the reduction was computed from
+	reduced   *Graph
+	shortcuts []Arc
+}
+
+// NewReduceCache returns an empty reduction cache.
+func NewReduceCache() *ReduceCache {
+	return &ReduceCache{entries: make(map[uint64]*reduceEntry)}
+}
+
+// TransitiveReductionCached is TransitiveReduction memoized through c.
+// A nil cache degrades to the uncached computation. On a hit the
+// returned graph and slice are shared with every other caller and must
+// not be mutated. Fingerprint collisions are guarded by a structural
+// comparison against the graph that populated the entry, so a hit is
+// never wrong.
+func (g *Graph) TransitiveReductionCached(c *ReduceCache) (*Graph, []Arc) {
+	if c == nil {
+		return g.TransitiveReduction()
+	}
+	fp := g.Fingerprint()
+	c.mu.Lock()
+	e, ok := c.entries[fp]
+	c.mu.Unlock()
+	if ok && g.StructuralEq(e.source) {
+		return e.reduced, e.shortcuts
+	}
+	reduced, shortcuts := g.TransitiveReduction()
+	c.mu.Lock()
+	c.entries[fp] = &reduceEntry{source: g, reduced: reduced, shortcuts: shortcuts}
+	c.mu.Unlock()
+	return reduced, shortcuts
+}

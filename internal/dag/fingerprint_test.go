@@ -1,0 +1,92 @@
+package dag
+
+import "testing"
+
+func fpTestGraph() *Graph {
+	g := New()
+	a, b, c, d := g.AddNode("a"), g.AddNode("b"), g.AddNode("c"), g.AddNode("d")
+	g.MustAddArc(a, b)
+	g.MustAddArc(a, c)
+	g.MustAddArc(b, d)
+	g.MustAddArc(c, d)
+	g.MustAddArc(a, d) // shortcut
+	return g
+}
+
+func TestFingerprintStability(t *testing.T) {
+	g1, g2 := fpTestGraph(), fpTestGraph()
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("identical graphs produced different fingerprints")
+	}
+	if !g1.StructuralEq(g2) {
+		t.Fatal("identical graphs not StructuralEq")
+	}
+	g2.MustAddArc(g2.IndexOf("b"), g2.IndexOf("c"))
+	if g1.Fingerprint() == g2.Fingerprint() {
+		t.Fatal("distinct graphs share a fingerprint")
+	}
+	if g1.StructuralEq(g2) {
+		t.Fatal("distinct graphs StructuralEq")
+	}
+}
+
+func TestFingerprintSensitiveToNames(t *testing.T) {
+	g1, g2 := New(), New()
+	g1.AddNode("a")
+	g2.AddNode("b")
+	if g1.Fingerprint() == g2.Fingerprint() {
+		t.Fatal("renamed node did not change the fingerprint")
+	}
+}
+
+func TestTransitiveReductionCached(t *testing.T) {
+	g := fpTestGraph()
+	c := NewReduceCache()
+	r1, s1 := g.TransitiveReductionCached(c)
+	r2, s2 := g.TransitiveReductionCached(c)
+	if r1 != r2 {
+		t.Fatal("second reduction was not the cached graph")
+	}
+	if len(s1) != 1 || s1[0] != (Arc{0, 3}) {
+		t.Fatalf("shortcuts = %v, want [{0 3}]", s1)
+	}
+	if len(s2) != len(s1) {
+		t.Fatalf("cached shortcuts differ: %v vs %v", s2, s1)
+	}
+
+	// A structurally equal but distinct graph also hits.
+	r3, _ := fpTestGraph().TransitiveReductionCached(c)
+	if r3 != r1 {
+		t.Fatal("structurally equal graph missed the cache")
+	}
+
+	// The cached reduction matches the uncached one.
+	want, _ := g.TransitiveReduction()
+	if !r1.StructuralEq(want) {
+		t.Fatal("cached reduction differs from direct reduction")
+	}
+
+	// A nil cache still works.
+	r4, _ := g.TransitiveReductionCached(nil)
+	if !r4.StructuralEq(want) {
+		t.Fatal("nil-cache reduction differs from direct reduction")
+	}
+}
+
+func TestTransitiveReductionCachedConcurrent(t *testing.T) {
+	g := fpTestGraph()
+	c := NewReduceCache()
+	done := make(chan *Graph, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			r, _ := g.TransitiveReductionCached(c)
+			done <- r
+		}()
+	}
+	want, _ := g.TransitiveReduction()
+	for i := 0; i < 8; i++ {
+		if r := <-done; !r.StructuralEq(want) {
+			t.Fatal("concurrent cached reduction is wrong")
+		}
+	}
+}

@@ -1,16 +1,3 @@
-// Package decompose implements the Divide phase of the scheduling
-// heuristic (Section 3.1, Steps 1-2): shortcut removal, the generalized
-// decomposition of a dag into connected components C(s) grown from
-// sources by the BFS-like closure of the paper, and the construction of
-// the superdag that records how the components compose.
-//
-// Two decomposition paths are provided, mirroring the engineering of
-// Section 3.5: a fast path that detaches every maximal connected
-// bipartite building block whose sources are sources of the remnant (for
-// these, containment-minimality is automatic), and a general path that
-// computes the full closure C(s) for each source and detaches one
-// containment-minimal component per round. The fast path alone reduced
-// the paper's SDSS decomposition from days to minutes.
 package decompose
 
 import (
@@ -73,6 +60,12 @@ type Options struct {
 	// every component, as the pre-Section-3.5 implementation did. Used
 	// by the ablation benchmarks.
 	DisableFastPath bool
+	// ReduceCache, when non-nil, memoizes the Step 1 transitive
+	// reduction by graph fingerprint, so repeated pipeline stages over
+	// the same dag (prio + theoretical, or several simulator policies)
+	// share one reduction. The cached Reduced graph and Shortcuts slice
+	// are shared across hits and must be treated as immutable.
+	ReduceCache *dag.ReduceCache
 }
 
 // Decompose runs Steps 1-2 of the heuristic on g with default options.
@@ -80,7 +73,7 @@ func Decompose(g *dag.Graph) *Result { return DecomposeOpts(g, Options{}) }
 
 // DecomposeOpts runs Steps 1-2 of the heuristic on g.
 func DecomposeOpts(g *dag.Graph, opts Options) *Result {
-	reduced, shortcuts := g.TransitiveReduction()
+	reduced, shortcuts := g.TransitiveReductionCached(opts.ReduceCache)
 	d := &decomposer{
 		g:        reduced,
 		alive:    make([]bool, reduced.NumNodes()),

@@ -1,0 +1,58 @@
+// Package sim implements the stochastic grid model of Section 4.1 and
+// the experiment driver of Section 4.2 — the evaluation harness that
+// compares the PRIO schedule against DAGMan's FIFO regimen.
+//
+// # The model
+//
+// Batches of worker requests arrive at a central server; the first
+// batch at time 0, subsequent interarrival times exponentially
+// distributed with mean BatchInterarrival (mu_BIT). Batch sizes are
+// exponentially distributed with mean BatchSize (mu_BS), discretized to
+// max(1, round(x)). Each assigned job runs for a Normal(1, 0.1) time on
+// its worker. Requests that cannot be filled are NOT rolled over —
+// those workers are presumed intercepted by other computations
+// (Params.RolloverWorkers flips this assumption for the ablation). Two
+// scheduling regimens are modelled: the oblivious regimen (a fixed
+// total order prioritizes the eligible jobs; with the prio pipeline's
+// order this is PRIO) and the FIFO regimen used by DAGMan.
+//
+// Three metrics are measured per run (Section 4.1): the execution time
+// (time at which the last job completes), the probability of stalling
+// (fraction of batches, among those arriving before the last job is
+// assigned, that found at least one unexecuted-and-unassigned job but
+// no eligible one), and the utilization (jobs divided by the total
+// requests arriving until the batch at which the last job was
+// assigned).
+//
+// # Role in the pipeline
+//
+// This package consumes schedules, it never produces them: NewPRIO and
+// PolicyFactoryOpts run the core pipeline once, up front, and wrap the
+// resulting order in an Oblivious policy. Compare / ComparePRIOFIFO /
+// Sweep then replicate Run over seeded streams and reduce the metrics
+// to the paper's sampling-distribution confidence intervals
+// (P*Q replications, Section 4.2). PolicyFactoryOpts threads a
+// core.Options through, so the simulators inherit -parallel / -cache
+// behavior from cmd/dagsim; the simulation itself is bit-identical
+// either way, since the parallel pipeline is differentially tested to
+// produce the sequential order.
+//
+// # Invariants
+//
+// Runs are deterministic given a seed: measure pre-derives one seed per
+// replication from a single stream before any goroutine starts, so
+// results do not depend on Workers or on goroutine interleaving. A
+// policy sees every job exactly once via Eligible before it can return
+// it from Next, and Run validates Params before simulating.
+//
+// # Concurrency contract
+//
+// Policy implementations (Oblivious, FIFO, and the factory-built
+// random/critpath policies) are stateful per run and NOT safe for
+// concurrent use — that is why the drivers take a factory func() Policy
+// and construct one policy per worker. The experiment drivers
+// (Compare, ComparePRIOFIFO, Sweep) are themselves safe to call
+// concurrently on shared read-only graphs; internally each call runs
+// its own ExperimentOptions.Workers-sized pool. Params,
+// PolicyMeasurements, Comparison, and GridPoint are plain data.
+package sim

@@ -19,9 +19,18 @@ import (
 //	critpath        highest-level-first (classic critical path)
 //	prio-maxjobs=N  PRIO behind the Section 3.2 two-queue throttle
 func PolicyFactory(name string, g *dag.Graph) (func() Policy, error) {
+	return PolicyFactoryOpts(name, g, core.Options{})
+}
+
+// PolicyFactoryOpts is PolicyFactory with explicit pipeline options for
+// the PRIO-based policies, so the simulator harnesses can use the
+// parallel Recurse phase and the schedule cache (dagsim -parallel
+// -cache). Schedules are computed once per factory, up front; the
+// returned constructors never run the pipeline again.
+func PolicyFactoryOpts(name string, g *dag.Graph, opts core.Options) (func() Policy, error) {
 	switch {
 	case name == "prio":
-		order := core.Prioritize(g).Order
+		order := core.PrioritizeOpts(g, opts).Order
 		return func() Policy { return NewOblivious("PRIO", order) }, nil
 	case name == "fifo":
 		return func() Policy { return NewFIFO() }, nil
@@ -37,7 +46,7 @@ func PolicyFactory(name string, g *dag.Graph) (func() Policy, error) {
 		if err != nil || n < 0 {
 			return nil, fmt.Errorf("sim: bad maxjobs value %q", val)
 		}
-		order := core.Prioritize(g).Order
+		order := core.PrioritizeOpts(g, opts).Order
 		return func() Policy { return NewTwoLevel(order, n) }, nil
 	default:
 		return nil, fmt.Errorf("sim: unknown policy %q (want prio, fifo, random, critpath, prio-maxjobs=N)", name)

@@ -1,23 +1,6 @@
-// Package sim implements the stochastic grid model of Section 4.1 and
-// the experiment driver of Section 4.2.
-//
-// The model: batches of worker requests arrive at a central server; the
-// first batch at time 0, subsequent interarrival times exponentially
-// distributed with mean BatchInterarrival (mu_BIT). Batch sizes are
-// exponentially distributed with mean BatchSize (mu_BS), discretized to
-// max(1, round(x)). Each assigned job runs for a Normal(1, 0.1) time on
-// its worker. Requests that cannot be filled are NOT rolled over — those
-// workers are presumed intercepted by other computations. Two scheduling
-// regimens are modelled: the oblivious PRIO regimen (a fixed total order
-// prioritizes the eligible jobs) and the FIFO regimen used by DAGMan (a
-// queue in eligibility order).
-//
-// Three metrics are measured per run: the execution time (time at which
-// the last job completes), the probability of stalling (fraction of
-// batches, among those arriving before the last job is assigned, that
-// found at least one unexecuted-and-unassigned job but no eligible one),
-// and the utilization (jobs divided by the total requests arriving until
-// the batch at which the last job was assigned).
+// The discrete-event core of the Section 4.1 stochastic grid model.
+// See doc.go for the package overview.
+
 package sim
 
 import (

@@ -433,6 +433,56 @@ func Layered(r *rng.Source, layers, width int, p float64) *dag.Graph {
 	return g
 }
 
+// TileField builds a Montage-like multi-component dag for the parallel
+// pipeline benchmarks and examples: `tiles` independent difference
+// components (one per sky tile), each a connected bipartite block of s
+// projected-image sources fanning out into overlapping difference-job
+// sinks (each source feeds 2..k random sinks out of t). Out-degrees
+// vary, so the blocks match none of the Fig. 2 families and the Recurse
+// phase pays the full classify + outdegree-order + trace cost per tile
+// — the per-component work that Options.Parallel fans out. Tiles are
+// structurally independent draws unless sharedShapes is true, in which
+// case every tile repeats the same shape and a core.Cache collapses the
+// Recurse phase to a single computation.
+func TileField(r *rng.Source, tiles, s, t, k int, sharedShapes bool) *dag.Graph {
+	if tiles < 1 || s < 1 || t < 1 || k < 2 {
+		panic("workloads: TileField needs tiles, s, t >= 1 and k >= 2")
+	}
+	g := dag.NewWithCapacity(tiles * (s + t))
+	var shape [][]int // per-source sink offsets of tile 0, when shared
+	for b := 0; b < tiles; b++ {
+		src := make([]int, s)
+		for i := range src {
+			src[i] = g.AddNode(fmt.Sprintf("tile%d_p%d", b, i))
+		}
+		snk := make([]int, t)
+		for j := range snk {
+			snk[j] = g.AddNode(fmt.Sprintf("tile%d_d%d", b, j))
+		}
+		if b == 0 || !sharedShapes {
+			shape = make([][]int, s)
+			for i := range shape {
+				deg := 2 + r.Intn(k-1)
+				offs := make([]int, 0, deg)
+				for d := 0; d < deg; d++ {
+					offs = append(offs, r.Intn(t))
+				}
+				// Keep the tile connected through sink 0.
+				if i == 0 || r.Float64() < 0.5 {
+					offs[0] = 0
+				}
+				shape[i] = offs
+			}
+		}
+		for i, offs := range shape {
+			for _, o := range offs {
+				g.AddArc(src[i], snk[o]) // duplicate draws are ignored
+			}
+		}
+	}
+	return g
+}
+
 func dist2(r, c int, centre float64) float64 {
 	dr := float64(r) - centre
 	dc := float64(c) - centre

@@ -395,3 +395,51 @@ func TestWorkloadWidths(t *testing.T) {
 		t.Fatalf("SDSS level width = %d, want >= fields", w)
 	}
 }
+
+func TestTileFieldShape(t *testing.T) {
+	const tiles, s, tt, k = 7, 5, 8, 4
+	g := TileField(rng.New(3), tiles, s, tt, k, false)
+	if g.NumNodes() != tiles*(s+tt) {
+		t.Fatalf("TileField nodes = %d, want %d", g.NumNodes(), tiles*(s+tt))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every arc stays inside its tile and runs projection -> difference.
+	for v := 0; v < g.NumNodes(); v++ {
+		tile, off := v/(s+tt), v%(s+tt)
+		for _, c := range g.Children(v) {
+			if c/(s+tt) != tile {
+				t.Fatalf("arc %d -> %d crosses tiles", v, c)
+			}
+			if off >= s || c%(s+tt) < s {
+				t.Fatalf("arc %d -> %d is not projection -> difference", v, c)
+			}
+		}
+	}
+	// Deterministic for a given seed.
+	h := TileField(rng.New(3), tiles, s, tt, k, false)
+	if !g.StructuralEq(h) {
+		t.Fatal("TileField is not deterministic for a fixed seed")
+	}
+}
+
+func TestTileFieldSharedShapes(t *testing.T) {
+	const tiles, s, tt, k = 6, 5, 8, 4
+	g := TileField(rng.New(9), tiles, s, tt, k, true)
+	// With sharedShapes every tile repeats tile 0's wiring.
+	stride := s + tt
+	for b := 1; b < tiles; b++ {
+		for v := 0; v < stride; v++ {
+			a, c := g.Children(v), g.Children(b*stride+v)
+			if len(a) != len(c) {
+				t.Fatalf("tile %d node %d degree differs from tile 0", b, v)
+			}
+			for i := range a {
+				if a[i]%stride != c[i]%stride {
+					t.Fatalf("tile %d node %d wiring differs from tile 0", b, v)
+				}
+			}
+		}
+	}
+}
