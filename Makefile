@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race cover bench fuzz sweeps examples clean
+.PHONY: all build test check lint race cover bench fuzz fuzz-smoke sweeps examples clean
 
 all: build test
 
@@ -13,11 +13,21 @@ test:
 	$(GO) vet ./...
 	$(GO) test ./...
 
-# The full gate: vet plus the whole suite under the race detector
-# (exercises the parallel pipeline's differential tests).
+# The full gate: formatting, vet, the project's own analyzers, and the
+# whole suite under the race detector (exercises the parallel
+# pipeline's differential tests).
 check:
+	@unformatted=$$(gofmt -l . | grep -v /testdata/ || true); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/priolint ./...
 	$(GO) test -race ./...
+
+# Just the determinism/concurrency analyzers (see internal/analysis).
+lint:
+	$(GO) run ./cmd/priolint ./...
 
 race:
 	$(GO) test -race ./internal/sim ./internal/core
@@ -32,6 +42,14 @@ bench:
 fuzz:
 	$(GO) test ./internal/dagman -fuzz 'FuzzParse$$' -fuzztime 30s
 	$(GO) test ./internal/dagman -fuzz FuzzParseSubmit -fuzztime 30s
+	$(GO) test ./internal/dagman -fuzz FuzzParseDAGMan -fuzztime 30s
+	$(GO) test ./internal/core -fuzz FuzzSchedule -fuzztime 30s
+
+# Short fuzz pass for CI: 10s per target on the invariants that matter
+# most (parser round-trip, schedule validity/determinism).
+fuzz-smoke:
+	$(GO) test ./internal/dagman -run xxx -fuzz FuzzParseDAGMan -fuzztime 10s
+	$(GO) test ./internal/core -run xxx -fuzz FuzzSchedule -fuzztime 10s
 
 # Regenerate the Figures 6-9 sweeps into results/ (about 10 minutes).
 sweeps:

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -198,10 +199,11 @@ func runParallel(inputs []string, submit, naive bool, parallel int, useCache, sh
 		}(i, input)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	// Report every failed input, not just the first: with -inplace the
+	// successful files have already been rewritten, so the caller needs
+	// the full list of the ones that were not.
+	if err := errors.Join(errs...); err != nil {
+		return err
 	}
 	if showStats {
 		fmt.Fprintf(os.Stderr, "prioritized %d files in %v\n", len(inputs), time.Since(start).Round(time.Microsecond))

@@ -232,3 +232,37 @@ func TestRunAIRSNEndToEnd(t *testing.T) {
 		t.Fatalf("%d jobpriority lines, want 773", got)
 	}
 }
+
+// TestRunMultipleFilesPartialFailure: in multi-file -inplace mode a bad
+// input must produce a non-nil error (so main exits non-zero) that
+// names every failed file, while the good files are still instrumented.
+func TestRunMultipleFilesPartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.dag")
+	if err := os.WriteFile(good, []byte(fig3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	malformed := filepath.Join(dir, "malformed.dag")
+	if err := os.WriteFile(malformed, []byte("Job a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(dir, "missing.dag")
+
+	var out strings.Builder
+	err := run([]string{"-inplace", good, malformed, missing}, &out)
+	if err == nil {
+		t.Fatal("bad inputs accepted in multi-file -inplace mode")
+	}
+	for _, want := range []string{malformed, missing} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not name failed input %s:\n%v", want, err)
+		}
+	}
+	text, readErr := os.ReadFile(good)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if !strings.Contains(string(text), `Vars c jobpriority="5"`) {
+		t.Errorf("good file not instrumented despite failures elsewhere:\n%s", text)
+	}
+}

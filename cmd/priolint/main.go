@@ -1,0 +1,160 @@
+// Command priolint runs the repository's invariant analyzers (see
+// repro/internal/analysis) over a set of packages, `go vet`-style.
+//
+// Usage:
+//
+//	priolint [-only a,b] [packages]
+//
+// With no package arguments it analyzes ./... . Test files are included.
+// The exit code is 0 when the tree is clean, 1 when any diagnostic was
+// reported, and 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/errpropagation"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockedfield"
+	"repro/internal/analysis/mapiterorder"
+	"repro/internal/analysis/rngsource"
+)
+
+// suite is every analyzer priolint knows, in reporting order.
+var suite = []*analysis.Analyzer{
+	errpropagation.Analyzer,
+	lockedfield.Analyzer,
+	mapiterorder.Analyzer,
+	rngsource.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("priolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: priolint [-only a,b] [packages]")
+		fmt.Fprintln(stderr, "analyzers:")
+		for _, a := range suite {
+			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "priolint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := load.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "priolint:", err)
+		return 2
+	}
+
+	type finding struct {
+		file      string
+		line, col int
+		analyzer  string
+		message   string
+	}
+	seen := make(map[finding]bool)
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(d analysis.Diagnostic) {
+					pos := pkg.Fset.Position(d.Pos)
+					f := finding{relPath(pos.Filename), pos.Line, pos.Column, a.Name, d.Message}
+					// A package and its test variant share files; keep
+					// one copy of diagnostics from the shared ones.
+					if !seen[f] {
+						seen[f] = true
+						findings = append(findings, f)
+					}
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(stderr, "priolint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
+				return 2
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.file, f.line, f.col, f.analyzer, f.message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "priolint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

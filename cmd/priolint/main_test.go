@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDriverFindsViolations runs the real driver (go list, export data,
+// type-checking and all) over the bad fixture package and checks the
+// exit code and diagnostics.
+func TestDriverFindsViolations(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"./testdata/src/bad"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"mapiterorder: append to keys",
+		"mapiterorder: output written",
+		"rngsource: rand.Intn",
+		"testdata/src/bad/bad.go:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDriverCleanPackage: the analysis framework itself must be clean.
+func TestDriverCleanPackage(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"repro/internal/analysis/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unexpected output:\n%s", stdout.String())
+	}
+}
+
+// TestDriverOnlyFilter restricts the suite and rejects unknown names.
+func TestDriverOnlyFilter(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-only", "rngsource", "./testdata/src/bad"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if out := stdout.String(); strings.Contains(out, "mapiterorder") || !strings.Contains(out, "rngsource") {
+		t.Errorf("-only rngsource output wrong:\n%s", out)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-only", "nosuch", "./testdata/src/bad"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown analyzer: exit code = %d, want 2", code)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dagman"
@@ -51,11 +52,8 @@ func main() {
 	if err := os.WriteFile(dagPath, []byte(f.String()), 0o644); err != nil {
 		panic(err)
 	}
-	subs := map[string]bool{}
-	for _, j := range f.Jobs {
-		subs[j.SubmitFile] = true
-	}
-	for sub := range subs {
+	subs := submitFiles(f)
+	for _, sub := range subs {
 		text := "universe = vanilla\nexecutable = " + sub[:len(sub)-4] + "\nqueue\n"
 		if err := os.WriteFile(filepath.Join(dir, sub), []byte(text), 0o644); err != nil {
 			panic(err)
@@ -80,7 +78,7 @@ func main() {
 	if err := os.WriteFile(dagPath, []byte(parsed.Instrument(prios)), 0o644); err != nil {
 		panic(err)
 	}
-	for sub := range subs {
+	for _, sub := range subs {
 		path := filepath.Join(dir, sub)
 		sf, err := dagman.ParseSubmitFile(path)
 		if err != nil {
@@ -105,6 +103,22 @@ func main() {
 	}
 	fmt.Println("\ninstrumented mProject.sub:")
 	fmt.Print(string(sub))
+}
+
+// submitFiles returns the distinct submit file names referenced by f,
+// sorted, so the files are written and instrumented in a deterministic
+// order (this used to iterate a dedup map directly).
+func submitFiles(f *dagman.File) []string {
+	seen := map[string]bool{}
+	var subs []string
+	for _, j := range f.Jobs {
+		if !seen[j.SubmitFile] {
+			seen[j.SubmitFile] = true
+			subs = append(subs, j.SubmitFile)
+		}
+	}
+	sort.Strings(subs)
+	return subs
 }
 
 func printHead(s string, n int) {

@@ -62,16 +62,29 @@ func main() {
 
 	// 4. The Fig. 2 families all classify and schedule optimally.
 	fmt.Println("\nFig. 2 building blocks:")
-	for name, g := range map[string]*dag.Graph{
-		"(2,2)-W":  bipartite.NewW(2, 2),
-		"(2,5)-M":  bipartite.NewM(2, 5),
-		"4-N":      bipartite.NewN(4),
-		"4-Cycle":  bipartite.NewCycle(4),
-		"3-Clique": bipartite.NewClique(3, 3),
-	} {
-		c, ok := bipartite.Classify(g)
-		optimal, _, _ := icopt.IsICOptimal(g, core.Prioritize(g).Order)
-		fmt.Printf("  %-9s classified=%v family=%v heuristic IC-optimal=%v\n", name, ok, c.Family, optimal)
+	for _, blk := range fig2Blocks() {
+		c, ok := bipartite.Classify(blk.g)
+		optimal, _, _ := icopt.IsICOptimal(blk.g, core.Prioritize(blk.g).Order)
+		fmt.Printf("  %-9s classified=%v family=%v heuristic IC-optimal=%v\n", blk.name, ok, c.Family, optimal)
+	}
+}
+
+// fig2Blocks returns the Fig. 2 building-block dags in a fixed order,
+// so the report is byte-identical across runs (this used to range over
+// a map, which printed in random order).
+func fig2Blocks() []struct {
+	name string
+	g    *dag.Graph
+} {
+	return []struct {
+		name string
+		g    *dag.Graph
+	}{
+		{"(2,2)-W", bipartite.NewW(2, 2)},
+		{"(2,5)-M", bipartite.NewM(2, 5)},
+		{"4-N", bipartite.NewN(4)},
+		{"4-Cycle", bipartite.NewCycle(4)},
+		{"3-Clique", bipartite.NewClique(3, 3)},
 	}
 }
 

@@ -1,0 +1,223 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against expectations written in the source,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp"
+//	// want `regexp` "second regexp"
+//
+// on the line where a diagnostic is expected. Every diagnostic must
+// match an expectation on its line and every expectation must be
+// matched by exactly one diagnostic.
+//
+// Testdata packages live under <analyzer dir>/testdata/src/<name> and
+// are ordinary Go source; their imports (standard library or module
+// packages) are resolved through `go list -export`, so they may import
+// the real packages an analyzer is specialized to (e.g.
+// repro/internal/dagman).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run analyzes the package in <testdata>/src/<pkg> for each named pkg
+// and reports mismatches between diagnostics and want comments through
+// t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			if err := runOne(t, a, dir); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, dir string) error {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no Go files in %s", dir)
+	}
+
+	pkg, info, err := typeCheck(fset, files)
+	if err != nil {
+		return err
+	}
+
+	wants, err := collectWants(fset, files)
+	if err != nil {
+		return err
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return fmt.Errorf("analyzer %s: %w", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := lineKey{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.re)
+			}
+		}
+	}
+	return nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the expectation patterns from a "want" comment:
+// double-quoted (unescaped via strconv) or backquoted strings.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(fset *token.FileSet, files []*ast.File) (map[lineKey][]*want, error) {
+	wants := make(map[lineKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range wantRE.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+					pattern := strings.Trim(lit, "`")
+					if strings.HasPrefix(lit, "\"") {
+						var err error
+						pattern, err = strconv.Unquote(lit)
+						if err != nil {
+							return nil, fmt.Errorf("%s: bad want pattern %s: %w", pos, lit, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %w", pos, lit, err)
+					}
+					key := lineKey{filepath.Base(pos.Filename), pos.Line}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// typeCheck type-checks the testdata files, resolving their imports
+// (transitively) through `go list -export`.
+func typeCheck(fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	imports := make(map[string]bool)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, nil, err
+			}
+			imports[path] = true
+		}
+	}
+	imp, err := load.ExportImporterFor(fset, imports)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking testdata: %w", err)
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,84 @@
+// Package analysis hosts priolint, the static-analysis suite that
+// mechanically enforces the scheduler's determinism and concurrency
+// invariants. It is a minimal re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) on top of the standard library's go/ast and go/types —
+// the build environment has no module proxy access, so x/tools cannot
+// be vendored; if it ever becomes available the analyzers port over by
+// changing one import line. Packages are loaded through `go list
+// -export` exactly the way a `go vet` driver does (see subpackage
+// load), and each analyzer ships an analysistest-style suite with
+// `// want "regexp"` expectations (see subpackage analysistest).
+//
+// # Why a linter instead of review discipline
+//
+// The advertised contract of the scheduling pipeline is that the
+// schedule is a deterministic function of the DAG: the parallel,
+// memoized pipeline is bit-identical to the sequential reference, and
+// simulator runs replay exactly given a seed. The paper's evaluation
+// compares PRIO against DAGMan's arbitrary order, so any hidden
+// nondeterminism in our pipeline would silently invalidate reproduced
+// numbers. These invariants are global properties that one more code
+// review can quietly lose; the analyzers below make them mechanical.
+//
+// # The invariants and their annotations
+//
+// Determinism (analyzer mapiterorder). Go map iteration order is
+// deliberately randomized, so a `for range` over a map must not have an
+// order-dependent effect: appending to a slice that is not subsequently
+// sorted, writing to an io.Writer / strings.Builder / file, or sending
+// on a channel. The blessed idiom is to collect the keys, sort them,
+// and range over the sorted slice — the analyzer recognizes a sort of
+// the accumulated slice later in the same function (any callee whose
+// name contains "sort" taking the slice as an argument) and stays
+// quiet. Order-independent bodies (counting, building another map,
+// reductions like min/max over values) are never flagged.
+//
+// Lock discipline (analyzer lockedfield). A struct field that is shared
+// by the parallel pipeline carries a declaration-site annotation naming
+// the mutex that guards it:
+//
+//	type Cache struct {
+//		mu      sync.RWMutex
+//		entries map[string]*cacheEntry // guarded by mu
+//	}
+//
+// Every selector access to an annotated field must occur in a function
+// that (a) locks that mutex (calls <anything>.mu.Lock or .RLock
+// somewhere in its body, including an enclosing function of a literal),
+// (b) is named with the conventional "...Locked" suffix meaning the
+// caller holds the lock, or (c) is a constructor — a receiver-less
+// function returning the struct type, where the value is not yet
+// shared. Composite-literal initialization is inherently exempt (it is
+// not a selector access). The check is lexical, not a may-happen-in-
+// parallel analysis: it enforces the documentation convention, which is
+// exactly what reviews kept getting wrong.
+//
+// RNG policy (analyzer rngsource). Simulator runs must be replayable:
+// all randomness flows from repro/internal/rng sources seeded by the
+// experiment driver. The process-global math/rand functions (rand.Intn,
+// rand.Shuffle, rand.Seed, ...) are forbidden everywhere outside
+// internal/rng, in tests too — constructing a private generator with
+// rand.New(rand.NewSource(seed)) remains allowed as long as the seed
+// does not come from time.Now, which the analyzer flags in any seeding
+// expression (math/rand, math/rand/v2, or rng.New).
+//
+// Error propagation (analyzer errpropagation). A swallowed error in the
+// DAGMan parse or file-rewrite paths corrupts a user's submit files
+// silently. Calls whose final result is an error must not be used as
+// statements or assigned to blank when the callee is (a) any function
+// of repro/internal/dagman, (b) any function of package os, or (c) a
+// method named Close, Flush, or Sync. `defer f.Close()` is exempt:
+// flagging every deferred close of a read-only file would drown the
+// signal, and the write paths all sync through os.WriteFile, which is
+// covered.
+//
+// # Running
+//
+//	go run ./cmd/priolint ./...        # what make check and CI run
+//	go run ./cmd/priolint -only mapiterorder,rngsource ./internal/sim
+//
+// The suite must stay clean at merge: fix the violation (or restructure
+// so the invariant is evident to the analyzer) rather than suppressing
+// it. There is deliberately no nolint comment mechanism.
+package analysis

@@ -1,0 +1,146 @@
+// Package errpropagation flags dropped errors on the paths where a
+// swallowed error silently corrupts a user's submit files: calls into
+// repro/internal/dagman, package os, and Close/Flush/Sync methods whose
+// final error result is discarded. See repro/internal/analysis for the
+// rationale and the deliberate `defer f.Close()` exemption.
+package errpropagation
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errpropagation",
+	Doc: "flag discarded error results from repro/internal/dagman, package os, " +
+		"and Close/Flush/Sync methods (deferred calls exempt)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			// The deferred/spawned call itself is exempt by policy, but
+			// a function-literal body (and any literals in the
+			// arguments) is ordinary code and stays checked.
+			var call *ast.CallExpr
+			if d, ok := n.(*ast.DeferStmt); ok {
+				call = d.Call
+			} else {
+				call = n.(*ast.GoStmt).Call
+			}
+			if lit, ok := call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, visit)
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, visit)
+			}
+			return false
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name, ok := watchedErrCall(pass, call); ok {
+					pass.Reportf(call.Pos(), "error result of %s is dropped; propagate or log it", name)
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, n)
+		}
+		return true
+	}
+	for _, file := range pass.Files {
+		// Test files are exempt by policy: there a dropped error fails
+		// the test (usually via a nil-pointer panic on the next line)
+		// rather than silently corrupting a user's submit files, and
+		// flagging every fixture write would drown the signal. The
+		// determinism and RNG analyzers still cover tests.
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, visit)
+	}
+	return nil, nil
+}
+
+// checkAssign flags watched calls whose error result lands in the blank
+// identifier.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	// Multi-value form: x, _ := f() — one call on the right.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, ok := watchedErrCall(pass, call)
+		if !ok {
+			return
+		}
+		if isBlank(as.Lhs[len(as.Lhs)-1]) {
+			pass.Reportf(call.Pos(), "error result of %s is assigned to _; propagate or log it", name)
+		}
+		return
+	}
+	// Parallel form: _ = f(), possibly mixed with other assignments.
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if name, ok := watchedErrCall(pass, call); ok {
+			pass.Reportf(call.Pos(), "error result of %s is assigned to _; propagate or log it", name)
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// watchedErrCall reports whether call is in the watched set and its
+// final result is an error. The second result names the callee for the
+// diagnostic.
+func watchedErrCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		return "", false
+	}
+	if sig.Recv() != nil {
+		switch fn.Name() {
+		case "Close", "Flush", "Sync":
+			return fn.Name(), true
+		}
+		return "", false
+	}
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "repro/internal/dagman":
+		return "dagman." + fn.Name(), true
+	case "os":
+		return "os." + fn.Name(), true
+	}
+	return "", false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

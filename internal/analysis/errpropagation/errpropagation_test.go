@@ -1,0 +1,12 @@
+package errpropagation_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errpropagation"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errpropagation.Analyzer, "a", "clean")
+}

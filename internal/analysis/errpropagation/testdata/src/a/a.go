@@ -1,0 +1,68 @@
+// Package a exercises the errpropagation analyzer: discarded errors
+// from repro/internal/dagman, package os, and Close/Flush/Sync methods
+// are flagged; handled errors and deferred cleanup are not.
+package a
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dagman"
+)
+
+func statementDrop(path string) {
+	dagman.ParseFile(path)                 // want `error result of dagman\.ParseFile is dropped`
+	os.WriteFile(path, []byte("x"), 0o644) // want `error result of os\.WriteFile is dropped`
+	os.Remove(path)                        // want `error result of os\.Remove is dropped`
+}
+
+func blankDrop(path string) *dagman.File {
+	f, _ := dagman.ParseFile(path) // want `error result of dagman\.ParseFile is assigned to _`
+	_ = os.Remove(path)            // want `error result of os\.Remove is assigned to _`
+	return f
+}
+
+func methodDrop(fh *os.File, w *bufio.Writer) {
+	fh.Close() // want `error result of Close is dropped`
+	w.Flush()  // want `error result of Flush is dropped`
+	fh.Sync()  // want `error result of Sync is dropped`
+}
+
+func handled(path string) error {
+	f, err := dagman.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, []byte(f.String()), 0o644); err != nil {
+		return err
+	}
+	return nil
+}
+
+func deferredCleanupIsExempt(path string) (*dagman.SubmitFile, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return dagman.ParseSubmit(fh)
+}
+
+func deferredClosureBodyIsChecked(path string) {
+	defer func() {
+		os.Remove(path) // want `error result of os\.Remove is dropped`
+	}()
+}
+
+func goroutineBodyIsChecked(path string) {
+	go func() {
+		os.Remove(path) // want `error result of os\.Remove is dropped`
+	}()
+}
+
+func unwatchedCalleesAreFine(s string) {
+	fmt.Println(s)             // fmt drops are conventional
+	strings.NewReader(s).Len() // no error result at all
+}

@@ -1,0 +1,30 @@
+// Package clean propagates every watched error; the errpropagation
+// analyzer must stay silent.
+package clean
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dagman"
+)
+
+func rewrite(path string) error {
+	f, err := dagman.ParseFile(path)
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if err := os.WriteFile(path, []byte(f.String()), 0o644); err != nil {
+		return fmt.Errorf("rewrite: %w", err)
+	}
+	return nil
+}
+
+func parse(text string) (*dagman.File, error) {
+	return dagman.Parse(strings.NewReader(text))
+}
+
+func closeChecked(fh *os.File) error {
+	return fh.Close()
+}

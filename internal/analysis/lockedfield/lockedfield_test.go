@@ -1,0 +1,12 @@
+package lockedfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockedfield"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockedfield.Analyzer, "a", "clean")
+}

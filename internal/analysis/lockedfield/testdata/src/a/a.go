@@ -1,0 +1,59 @@
+// Package a exercises the lockedfield analyzer: accesses to fields
+// annotated `// guarded by <mu>` must happen under the named mutex, in
+// a ...Locked helper, or in a constructor.
+package a
+
+import "sync"
+
+type cache struct {
+	mu      sync.RWMutex
+	entries map[string]int // guarded by mu
+	hits    int            // guarded by mu
+	free    int            // unguarded: no annotation
+}
+
+func newCache() *cache {
+	c := &cache{}
+	c.entries = make(map[string]int) // constructor: value not yet shared
+	return c
+}
+
+func (c *cache) get(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.entries[k]
+}
+
+func (c *cache) put(k string, v int) {
+	c.mu.Lock()
+	c.entries[k] = v
+	c.hits++
+	c.mu.Unlock()
+}
+
+func (c *cache) racyLen() int {
+	return len(c.entries) // want `guarded by mu`
+}
+
+func (c *cache) racyBump() {
+	c.hits++ // want `guarded by mu`
+}
+
+func (c *cache) sizeLocked() int {
+	return len(c.entries) // "...Locked" suffix: caller holds mu
+}
+
+func (c *cache) unguardedOK() int {
+	return c.free // field has no annotation
+}
+
+func (c *cache) lockedClosure() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func() int { return len(c.entries) } // enclosing function locks mu
+	return f
+}
+
+type badAnnotation struct { // the annotation itself is checked
+	data int // want `has no field lock` // guarded by lock
+}

@@ -1,0 +1,42 @@
+// Package clean holds lock-discipline-correct code; the lockedfield
+// analyzer must stay silent on all of it.
+package clean
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	byID  map[int]string // guarded by mu
+	count int            // guarded by mu
+}
+
+func newRegistry() registry {
+	return registry{byID: map[int]string{}} // composite literal: no selector access
+}
+
+func (r *registry) Add(id int, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byID[id] = name
+	r.count++
+}
+
+func (r *registry) snapshotLocked() map[int]string {
+	out := make(map[int]string, len(r.byID))
+	for id, name := range r.byID {
+		out[id] = name
+	}
+	return out
+}
+
+func (r *registry) Snapshot() map[int]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+type plain struct {
+	x int // ordinary fields need no locking
+}
+
+func (p *plain) Get() int { return p.x }

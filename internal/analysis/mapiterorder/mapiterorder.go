@@ -1,0 +1,248 @@
+// Package mapiterorder flags `for range` loops over maps whose body has
+// an order-dependent effect — the classic determinism killer in a
+// pipeline whose advertised contract is that the emitted schedule is a
+// deterministic function of the DAG. See repro/internal/analysis for
+// the invariant this enforces.
+package mapiterorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiterorder",
+	Doc: "flag map iterations with order-dependent effects (appends that are " +
+		"never sorted, writes to writers or files, channel sends); collect the " +
+		"keys and sort them instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		analysis.WithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			loopVars := rangeVars(pass, rs)
+			if len(loopVars) == 0 {
+				// `for range m` executes the body len(m) times with no
+				// key in scope; nothing order-dependent can leak out.
+				return true
+			}
+			checkBody(pass, rs, loopVars, stack)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// rangeVars returns the objects of the loop's key/value variables.
+func rangeVars(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// checkBody reports order-dependent statements in the loop body. stack
+// is the ancestor stack of the range statement itself.
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt, loopVars map[types.Object]bool, stack []ast.Node) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if usesAny(pass, n.Value, loopVars) {
+				pass.Reportf(n.Pos(), "channel send inside iteration over map %s depends on map order; iterate over sorted keys",
+					exprString(rs.X))
+			}
+		case *ast.CallExpr:
+			if isOutputCall(pass, n) && usesAny(pass, n, loopVars) {
+				pass.Reportf(n.Pos(), "output written inside iteration over map %s depends on map order; iterate over sorted keys",
+					exprString(rs.X))
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				if !usesAny(pass, call, loopVars) {
+					continue // e.g. appending a constant per key: still order-dependent in principle, but count-only
+				}
+				target, _ := n.Lhs[i].(*ast.Ident)
+				if target == nil {
+					// Appending to a field or element in map order.
+					pass.Reportf(n.Pos(), "append to %s inside iteration over map %s depends on map order; iterate over sorted keys",
+						exprString(n.Lhs[i]), exprString(rs.X))
+					continue
+				}
+				obj := pass.ObjectOf(target)
+				if obj == nil || declaredWithin(pass, obj, rs) {
+					continue // loop-local accumulator cannot escape the iteration
+				}
+				if sortedAfter(pass, obj, rs, stack) {
+					continue // collect-then-sort idiom: the order is repaired
+				}
+				pass.Reportf(n.Pos(), "append to %s inside iteration over map %s depends on map order; sort %s afterwards or iterate over sorted keys",
+					target.Name, exprString(rs.X), target.Name)
+			}
+		}
+		return true
+	})
+}
+
+// usesAny reports whether the expression tree mentions any loop
+// variable.
+func usesAny(pass *analysis.Pass, root ast.Node, vars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && vars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isOutputCall reports whether the call externalizes data in call
+// order: fmt printing, file writes, or Write* methods (io.Writer,
+// strings.Builder, bytes.Buffer, hashes, ...).
+func isOutputCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if fn.Type().(*types.Signature).Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+		return false
+	}
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	case "os":
+		switch name {
+		case "WriteFile", "Remove", "RemoveAll", "Rename", "Mkdir", "MkdirAll":
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// range statement.
+func declaredWithin(pass *analysis.Pass, obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+// sortedAfter reports whether, later in some enclosing function body,
+// the accumulated slice is passed to a sorting call — any callee whose
+// name contains "sort" (sort.Strings, slices.Sort, a local sortArcs,
+// ...) with the slice among its arguments.
+func sortedAfter(pass *analysis.Pass, slice types.Object, rs *ast.RangeStmt, stack []ast.Node) bool {
+	var bodies []*ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			bodies = append(bodies, f.Body)
+		case *ast.FuncLit:
+			bodies = append(bodies, f.Body)
+		}
+	}
+	for _, body := range bodies {
+		found := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found || call.Pos() < rs.End() {
+				return true
+			}
+			if !calleeNameContainsSort(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == slice {
+					found = true
+				}
+				// sort.Slice-style: the slice may appear inside a
+				// closure argument; usesAny covers that too.
+				if usesObj(pass, arg, slice) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func usesObj(pass *analysis.Pass, root ast.Node, obj types.Object) bool {
+	return usesAny(pass, root, map[types.Object]bool{obj: true})
+}
+
+func calleeNameContainsSort(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	case *ast.SelectorExpr:
+		if strings.Contains(strings.ToLower(fun.Sel.Name), "sort") {
+			return true
+		}
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				p := pn.Imported().Path()
+				return p == "sort" || p == "slices"
+			}
+		}
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CompositeLit:
+		return "literal"
+	default:
+		return "value"
+	}
+}

@@ -1,0 +1,87 @@
+// Package a exercises the mapiterorder analyzer: order-dependent map
+// iterations are flagged, the collect-then-sort idiom is not.
+package a
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside iteration over map m depends on map order`
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func appendThenCustomSort(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sortInts(vals)
+	return vals
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+func printInLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `output written inside iteration over map m depends on map order`
+	}
+}
+
+func fprintInLoop(m map[string]int, w *os.File) {
+	for k := range m {
+		fmt.Fprintf(w, "%s\n", k) // want `output written inside iteration over map m depends on map order`
+	}
+}
+
+func builderInLoop(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `output written inside iteration over map m depends on map order`
+	}
+	return b.String()
+}
+
+func writeFileInLoop(m map[string]string) {
+	for name, text := range m {
+		os.WriteFile(name, []byte(text), 0o644) // want `output written inside iteration over map m depends on map order`
+	}
+}
+
+func sendInLoop(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside iteration over map m depends on map order`
+	}
+}
+
+type collector struct{ out []string }
+
+func appendToField(m map[string]int, c *collector) {
+	for k := range m {
+		c.out = append(c.out, k) // want `append to c.out inside iteration over map m depends on map order`
+	}
+}

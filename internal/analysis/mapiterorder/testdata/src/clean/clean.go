@@ -1,0 +1,67 @@
+// Package clean holds map iterations with order-independent bodies;
+// the mapiterorder analyzer must stay silent on all of them.
+package clean
+
+import "fmt"
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func count(m map[string]bool) int {
+	n := 0
+	for range m { // no key variable: nothing order-dependent can leak
+		n++
+	}
+	return n
+}
+
+func maxValue(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func loopLocalAccumulator(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v) // accumulator lives inside the iteration
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+func printAfter(m map[string]int) {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	fmt.Println(total)
+}
+
+func rangeOverSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // slices iterate in index order
+	}
+	return out
+}

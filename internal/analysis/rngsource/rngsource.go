@@ -1,0 +1,111 @@
+// Package rngsource enforces the repository's RNG policy: simulator
+// runs must replay exactly given a seed, so the process-global
+// math/rand functions are forbidden outside repro/internal/rng, and no
+// generator may be seeded from the wall clock. See
+// repro/internal/analysis for the policy.
+package rngsource
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rngsource",
+	Doc: "forbid process-global math/rand functions and time.Now seeding " +
+		"outside repro/internal/rng; use rng.New with an explicit seed",
+	Run: run,
+}
+
+// rngPackage is the one package allowed to own raw randomness.
+const rngPackage = "repro/internal/rng"
+
+// allowed lists the math/rand identifiers that do not touch the global
+// source: explicit-generator constructors and types.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// seeders are the constructors whose argument expressions must not read
+// the wall clock.
+var seeders = map[string]bool{"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == rngPackage {
+		return nil, nil
+	}
+	// Nested seeders (rand.New(rand.NewSource(time.Now()...))) would
+	// report the same wall-clock read twice; dedupe by position.
+	reported := make(map[token.Pos]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj := pass.TypesInfo.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil || !isMathRand(obj.Pkg().Path()) {
+					return true
+				}
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Type().(*types.Signature).Recv() != nil {
+					return true // methods on an explicit generator are fine
+				}
+				if !allowed[fn.Name()] {
+					pass.Reportf(n.Pos(), "%s.%s uses the process-global math/rand state; use %s with an explicit seed",
+						obj.Pkg().Name(), fn.Name(), rngPackage)
+				}
+			case *ast.CallExpr:
+				if !isSeedingCall(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if now := findTimeNow(pass, arg); now != nil && !reported[now.Pos()] {
+						reported[now.Pos()] = true
+						pass.Reportf(now.Pos(), "seeding a generator from time.Now makes runs unreplayable; thread an explicit seed through the experiment config")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isMathRand(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// isSeedingCall reports whether call constructs a generator: one of the
+// math/rand seeders or repro/internal/rng.New.
+func isSeedingCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	if isMathRand(fn.Pkg().Path()) && seeders[fn.Name()] {
+		return true
+	}
+	return fn.Pkg().Path() == rngPackage && fn.Name() == "New"
+}
+
+// findTimeNow returns a call to time.Now within the expression, if any.
+func findTimeNow(pass *analysis.Pass, root ast.Expr) ast.Node {
+	var found ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found != nil {
+			return found == nil
+		}
+		if analysis.IsPkgFunc(pass.TypesInfo, call, "time", "Now") {
+			found = call
+		}
+		return found == nil
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package rngsource_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/rngsource"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rngsource.Analyzer, "a", "clean")
+}

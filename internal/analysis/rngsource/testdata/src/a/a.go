@@ -1,0 +1,46 @@
+// Package a exercises the rngsource analyzer: process-global math/rand
+// functions and wall-clock seeding are flagged; explicit generators
+// with explicit seeds are not.
+package a
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func globals() {
+	_ = rand.Intn(10)     // want `process-global math/rand state`
+	_ = rand.Float64()    // want `process-global math/rand state`
+	rand.Shuffle(3, swap) // want `process-global math/rand state`
+	rand.Seed(42)         // want `process-global math/rand state`
+	_ = rand.Perm(5)      // want `process-global math/rand state`
+}
+
+func swap(i, j int) {}
+
+func explicitGenerator() int {
+	r := rand.New(rand.NewSource(42)) // explicit seed: allowed
+	return r.Intn(10)                 // method on an explicit generator: allowed
+}
+
+func repoGenerator(seed uint64) float64 {
+	return rng.New(seed).Float64()
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeding a generator from time.Now`
+}
+
+func wallClockSeedRepo() *rng.Source {
+	return rng.New(uint64(time.Now().UnixNano())) // want `seeding a generator from time.Now`
+}
+
+func typesAreFine(s rand.Source) *rand.Rand {
+	return rand.New(s)
+}
+
+func timeElsewhereIsFine() time.Time {
+	return time.Now() // only seeding expressions are restricted
+}

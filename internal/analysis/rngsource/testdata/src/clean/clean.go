@@ -1,0 +1,23 @@
+// Package clean uses randomness only through explicit, replayable
+// generators; the rngsource analyzer must stay silent.
+package clean
+
+import (
+	"math/rand"
+
+	"repro/internal/rng"
+)
+
+func replayable(seed uint64) []int {
+	r := rng.New(seed)
+	return r.Perm(16)
+}
+
+func split(parent *rng.Source) *rng.Source {
+	return parent.Split()
+}
+
+func stdlibExplicit(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

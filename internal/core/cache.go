@@ -30,7 +30,7 @@ import (
 // and must be treated as immutable (the pipeline only reads them).
 type Cache struct {
 	mu      sync.RWMutex
-	entries map[string]*cacheEntry
+	entries map[string]*cacheEntry // guarded by mu
 	reduce  *dag.ReduceCache
 	hits    atomic.Int64
 	misses  atomic.Int64

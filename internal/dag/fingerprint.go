@@ -83,7 +83,7 @@ func (g *Graph) StructuralEq(o *Graph) bool {
 // comment).
 type ReduceCache struct {
 	mu      sync.Mutex
-	entries map[uint64]*reduceEntry
+	entries map[uint64]*reduceEntry // guarded by mu
 }
 
 type reduceEntry struct {

@@ -1,6 +1,7 @@
 package dagman
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -59,6 +60,42 @@ func FuzzParseSubmit(f *testing.F) {
 		s.InstrumentPriority()
 		if s.String() != before {
 			t.Fatalf("instrumentation not idempotent on %q", input)
+		}
+	})
+}
+
+// FuzzParseDAGMan is the full round-trip target: any input the parser
+// accepts must re-parse from its own String output to a byte-identical
+// file with identical jobs, dependencies and splices. Together with
+// FuzzParse's shape check this pins the rewrite path: an instrumented
+// copy differs from its input only by the priority lines prio adds.
+func FuzzParseDAGMan(f *testing.F) {
+	f.Add("Job a a.sub\nJob b b.sub\nParent a Child b\n")
+	f.Add(fig3Text)
+	f.Add("JOB A a.sub DIR /tmp NOOP\nVars A k=\"v\" k2=\"w\"\nRETRY A 3\nPARENT A CHILD A\n")
+	f.Add("Splice inner inner.dag\nJob out out.sub\nParent inner Child out\n# trailing comment")
+	f.Add("\tJob  q\t q.sub  \n\nPriority q 7\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		file, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		text := file.String()
+		again, err := Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("accepted file failed to re-parse: %v\nwritten: %q", err, text)
+		}
+		if got := again.String(); got != text {
+			t.Fatalf("write is not a fixed point:\nfirst:  %q\nsecond: %q", text, got)
+		}
+		if !reflect.DeepEqual(again.Jobs, file.Jobs) {
+			t.Fatalf("round trip changed jobs: %v -> %v", file.Jobs, again.Jobs)
+		}
+		if !reflect.DeepEqual(again.Deps, file.Deps) {
+			t.Fatalf("round trip changed deps: %v -> %v", file.Deps, again.Deps)
+		}
+		if !reflect.DeepEqual(again.Splices, file.Splices) {
+			t.Fatalf("round trip changed splices: %v -> %v", file.Splices, again.Splices)
 		}
 	})
 }
