@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint race cover bench fuzz fuzz-smoke sweeps examples clean
+.PHONY: all build test check lint race cover bench bench-sim bench-sim-smoke fuzz fuzz-smoke sweeps examples clean
 
 all: build test
 
@@ -38,6 +38,24 @@ cover:
 # One benchmark per paper exhibit plus the Section 3.5 ablations.
 bench:
 	$(GO) test . -bench . -benchmem -benchtime 3x
+
+# Replication-kernel throughput: run the simulation-engine benchmarks,
+# archive the raw text in results/engine-bench.txt, and emit
+# machine-readable BENCH_sim.json (reps/s, allocs/op per benchmark).
+# The zero-alloc assertion makes this a gate, not just a report:
+# BenchmarkRunAIRSN is the pre-engine per-run cost (fresh state every
+# replication) kept for comparison, BenchmarkRunKernel the pooled
+# kernel that must stay allocation-free.
+bench-sim:
+	mkdir -p results
+	$(GO) test ./internal/sim -run xxx -bench 'BenchmarkRunKernel|BenchmarkEngineGrid|BenchmarkRunAIRSN' -benchmem > results/engine-bench.txt
+	cat results/engine-bench.txt
+	$(GO) run ./cmd/benchjson -assert-zero-allocs 'RunKernel/' -o BENCH_sim.json results/engine-bench.txt
+
+# Short form for CI: a few hundred kernel replications, just enough for
+# the steady-state zero-alloc property to be enforced on every PR.
+bench-sim-smoke:
+	$(GO) test ./internal/sim -run xxx -bench 'BenchmarkRunKernel/airsn' -benchtime 200x -benchmem | $(GO) run ./cmd/benchjson -assert-zero-allocs 'RunKernel/'
 
 fuzz:
 	$(GO) test ./internal/dagman -fuzz 'FuzzParse$$' -fuzztime 30s

@@ -95,13 +95,17 @@ func BenchmarkFig5AIRSNBottleneck(b *testing.B) {
 }
 
 // benchSimPoint runs one PRIO/FIFO comparison per iteration at the
-// paper's best-gain point for the dag.
+// paper's best-gain point for the dag — 2·P·Q replications through the
+// flat grid engine — and reports replication throughput, the figure of
+// merit for the 11.3M-run evaluation (see EXPERIMENTS.md "Simulation
+// engine").
 func benchSimPoint(b *testing.B, name string, scale int, muBS float64) {
 	g, err := workloads.ByName(name, scale)
 	if err != nil {
 		b.Fatal(err)
 	}
 	opts := sim.ExperimentOptions{P: 6, Q: 6, Seed: 1}
+	reps := float64(2 * opts.P * opts.Q)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -111,6 +115,7 @@ func benchSimPoint(b *testing.B, name string, scale int, muBS float64) {
 			b.Fatal("invalid CI")
 		}
 	}
+	b.ReportMetric(reps*float64(b.N)/b.Elapsed().Seconds(), "reps/s")
 }
 
 func BenchmarkFig6AIRSN(b *testing.B)    { benchSimPoint(b, "airsn", 4, 32) }     // 2^5

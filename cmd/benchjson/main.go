@@ -1,0 +1,190 @@
+// Command benchjson converts `go test -bench` text output into JSON so
+// benchmark runs can be archived and diffed as machine-readable
+// trajectories (make bench-sim pipes the kernel benchmarks through it
+// into BENCH_sim.json).
+//
+// Each benchmark result line
+//
+//	BenchmarkRunKernel/airsn/prio-4  16413  72685 ns/op  13758 reps/s  0 B/op  0 allocs/op
+//
+// becomes one entry with the trailing -GOMAXPROCS stripped into its own
+// field and every value/unit pair (including custom b.ReportMetric
+// units) collected into a metrics map. The goos/goarch/pkg/cpu header
+// lines are captured once; PASS/ok trailers and unrelated output are
+// ignored, so the full `go test` stream can be piped in unfiltered.
+//
+// -assert-zero-allocs RE exits nonzero if any benchmark whose name
+// matches RE reports allocs/op > 0; CI uses it to enforce the
+// replication kernel's zero-alloc steady state on every PR.
+//
+// Usage:
+//
+//	go test ./internal/sim -bench . -benchmem | benchjson [-o out.json]
+//	        [-assert-zero-allocs 'RunKernel/']
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// trailing -GOMAXPROCS suffix, e.g. "RunKernel/airsn/prio".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix, 0 if absent.
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit to value: ns/op, B/op, allocs/op, MB/s, and any
+	// custom b.ReportMetric units such as reps/s.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the JSON document: the run's platform header plus every
+// benchmark in input order.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one benchmark result line, returning ok=false for
+// anything that is not one.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	// Name, iterations, and at least one value/unit pair.
+	if len(f) < 4 || len(f)%2 != 0 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if name == "" || !(name[0] >= 'A' && name[0] <= 'Z') {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil || iters <= 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if procs, err := strconv.Atoi(name[i+1:]); err == nil && procs > 0 {
+			b.Name, b.Procs = name[:i], procs
+		}
+	}
+	for i := 2; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}
+
+// parse reads a `go test -bench` stream into a Report.
+func parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if b, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// assertZeroAllocs returns an error naming every benchmark matching re
+// that reports allocs/op > 0.
+func assertZeroAllocs(rep Report, re *regexp.Regexp) error {
+	var bad []string
+	for _, b := range rep.Benchmarks {
+		if re.MatchString(b.Name) && b.Metrics["allocs/op"] > 0 {
+			bad = append(bad, fmt.Sprintf("%s: %g allocs/op", b.Name, b.Metrics["allocs/op"]))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("benchmarks allocate in steady state:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("o", "", "write JSON here instead of stdout")
+	zeroRE := fs.String("assert-zero-allocs", "", "fail if a benchmark matching this regexp reports allocs/op > 0")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("at most one input file, got %d", fs.NArg())
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+
+	if *zeroRE != "" {
+		re, err := regexp.Compile(*zeroRE)
+		if err != nil {
+			return fmt.Errorf("-assert-zero-allocs: %w", err)
+		}
+		return assertZeroAllocs(rep, re)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

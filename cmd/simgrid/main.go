@@ -5,6 +5,13 @@
 // execution time, probability of stalling, expected utilization) as
 // medians with 95% confidence intervals.
 //
+// The whole grid runs as one flat parallel workload (sim.CompareGrid):
+// every point overlaps in execution, rows still print in row-major
+// order as they complete, and a per-row elapsed/ETA line goes to
+// stderr. -format switches the stdout rows between the human table,
+// TSV, and JSON (one object per line), so grid runs can feed
+// machine-readable trajectories.
+//
 // The paper's grid is mu_BIT in {10^-3 .. 10^3} and mu_BS in
 // {2^0 .. 2^16}, with p = q = 300; defaults here are laptop-scale and
 // can be raised to paper scale with -p 300 -q 300 -scale 1.
@@ -12,28 +19,105 @@
 // Usage:
 //
 //	simgrid -dag airsn [-scale 4] [-bit 10^-1,10^0,10^1] [-bs 2^2,2^4,2^6]
-//	        [-p 40] [-q 40] [-seed 1] [-workers N]
+//	        [-p 40] [-q 40] [-seed 1] [-workers N] [-format table|tsv|json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "simgrid:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+// jsonCI mirrors stats.RatioCI for -format json. Invalid intervals keep
+// zero bounds (JSON has no NaN) and valid=false.
+type jsonCI struct {
+	Median float64 `json:"median"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Valid  bool    `json:"valid"`
+}
+
+func toJSONCI(ci stats.RatioCI) jsonCI {
+	if !ci.Valid {
+		return jsonCI{}
+	}
+	return jsonCI{Median: ci.Median, Lo: ci.Lo, Hi: ci.Hi, Valid: true}
+}
+
+// jsonRow is one grid point in -format json, one object per line.
+type jsonRow struct {
+	MuBIT float64 `json:"mu_bit"`
+	MuBS  float64 `json:"mu_bs"`
+	Time  jsonCI  `json:"time"`
+	Stall jsonCI  `json:"stall"`
+	Util  jsonCI  `json:"util"`
+}
+
+// tsvCell renders one CI bound for -format tsv; invalid intervals print
+// NaN so columns stay numeric.
+func tsvCell(ci stats.RatioCI, v float64) string {
+	if !ci.Valid {
+		v = math.NaN()
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func writeRow(w io.Writer, format string, gp sim.GridPoint) error {
+	switch format {
+	case "table":
+		_, err := fmt.Fprintln(w, gp.FormatRow())
+		return err
+	case "tsv":
+		cols := []string{fmt.Sprintf("%g", gp.MuBIT), fmt.Sprintf("%g", gp.MuBS)}
+		for _, ci := range []stats.RatioCI{gp.ExecTime, gp.Stalling, gp.Utilization} {
+			cols = append(cols, tsvCell(ci, ci.Median), tsvCell(ci, ci.Lo), tsvCell(ci, ci.Hi))
+		}
+		for i, c := range cols {
+			if i > 0 {
+				if _, err := io.WriteString(w, "\t"); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	case "json":
+		row := jsonRow{
+			MuBIT: gp.MuBIT, MuBS: gp.MuBS,
+			Time:  toJSONCI(gp.ExecTime),
+			Stall: toJSONCI(gp.Stalling),
+			Util:  toJSONCI(gp.Utilization),
+		}
+		enc, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s\n", enc)
+		return err
+	default:
+		return fmt.Errorf("-format %q: want table, tsv, or json", format)
+	}
+}
+
+func run(args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("simgrid", flag.ContinueOnError)
 	dagSpec := fs.String("dag", "airsn", "workload name (airsn, inspiral, montage, sdss) or DAGMan file")
 	scale := fs.Int("scale", 4, "divide the paper workload size by this factor (1 = paper scale)")
@@ -46,8 +130,14 @@ func run(args []string, w io.Writer) error {
 	policy := fs.String("policy", "prio", "numerator policy: prio, fifo, random, critpath, prio-maxjobs=N")
 	against := fs.String("against", "fifo", "denominator policy (same names)")
 	fail := fs.Float64("fail", 0, "per-assignment worker failure probability")
+	format := fs.String("format", "table", "output format: table, tsv, or json (one object per line)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *format {
+	case "table", "tsv", "json":
+	default:
+		return fmt.Errorf("-format %q: want table, tsv, or json", *format)
 	}
 
 	g, label, err := cli.LoadDag(*dagSpec, *scale)
@@ -73,19 +163,43 @@ func run(args []string, w io.Writer) error {
 	}
 
 	opts := sim.ExperimentOptions{P: *p, Q: *q, Seed: *seed, Workers: *workers, Confidence: 95}
-	fmt.Fprintf(w, "# dag=%s jobs=%d arcs=%d  p=%d q=%d seed=%d\n", label, g.NumNodes(), g.NumArcs(), *p, *q, *seed)
-	fmt.Fprintf(w, "# ratios are %s/%s: median [95%% CI]; <1 means %s wins on time/stall, >1 on utilization\n",
+	comment := func(f string, a ...any) {
+		if *format != "json" { // keep json output pure NDJSON
+			fmt.Fprintf(w, f, a...)
+		}
+	}
+	comment("# dag=%s jobs=%d arcs=%d  p=%d q=%d seed=%d\n", label, g.NumNodes(), g.NumArcs(), *p, *q, *seed)
+	comment("# ratios are %s/%s: median [95%% CI]; <1 means %s wins on time/stall, >1 on utilization\n",
 		*policy, *against, *policy)
-	start := time.Now()
+	if *format == "tsv" {
+		fmt.Fprintln(w, "mu_bit\tmu_bs\ttime_med\ttime_lo\ttime_hi\tstall_med\tstall_lo\tstall_hi\tutil_med\tutil_lo\tutil_hi")
+	}
+
+	points := make([]sim.Params, 0, len(muBITs)*len(muBSs))
 	for _, bit := range muBITs {
 		for _, bs := range muBSs {
 			params := sim.DefaultParams(bit, bs)
 			params.FailureProb = *fail
-			c := sim.Compare(g, params, numFactory, denFactory, opts)
-			gp := sim.GridPoint{MuBIT: bit, MuBS: bs, Comparison: c}
-			fmt.Fprintln(w, gp.FormatRow())
+			points = append(points, params)
 		}
 	}
-	fmt.Fprintf(w, "# total sweep time: %v\n", time.Since(start).Round(time.Millisecond))
+
+	start := time.Now()
+	var rowErr error
+	sim.CompareGrid(g, points, numFactory, denFactory, opts, func(i int, c sim.Comparison) {
+		gp := sim.GridPoint{MuBIT: points[i].BatchInterarrival, MuBS: points[i].BatchSize, Comparison: c}
+		if err := writeRow(w, *format, gp); err != nil && rowErr == nil {
+			rowErr = err
+		}
+		elapsed := time.Since(start)
+		eta := time.Duration(float64(elapsed) / float64(i+1) * float64(len(points)-i-1))
+		fmt.Fprintf(ew, "row %d/%d muBIT=%g muBS=%g elapsed=%v eta=%v\n",
+			i+1, len(points), gp.MuBIT, gp.MuBS,
+			elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
+	})
+	if rowErr != nil {
+		return rowErr
+	}
+	comment("# total sweep time: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

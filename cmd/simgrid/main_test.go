@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -11,7 +14,7 @@ func TestRunSmallGrid(t *testing.T) {
 		"-dag", "airsn", "-scale", "25",
 		"-bit", "10^0", "-bs", "2^2,2^4",
 		"-p", "4", "-q", "3", "-seed", "9",
-	}, &out)
+	}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,10 +41,10 @@ func TestRunSmallGrid(t *testing.T) {
 func TestRunDeterministicOutput(t *testing.T) {
 	args := []string{"-dag", "airsn", "-scale", "25", "-bit", "1", "-bs", "4", "-p", "3", "-q", "3"}
 	var a, b strings.Builder
-	if err := run(args, &a); err != nil {
+	if err := run(args, &a, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(args, &b); err != nil {
+	if err := run(args, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	stripTiming := func(s string) string {
@@ -59,15 +62,123 @@ func TestRunDeterministicOutput(t *testing.T) {
 	}
 }
 
+func TestRunFormatTSV(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dag", "airsn", "-scale", "25", "-format", "tsv",
+		"-bit", "10^0", "-bs", "2^2,2^4", "-p", "4", "-q", "3",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var header string
+	var rows [][]string
+	for _, ln := range strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n") {
+		if strings.HasPrefix(ln, "#") || ln == "" {
+			continue
+		}
+		if header == "" {
+			header = ln
+			continue
+		}
+		rows = append(rows, strings.Split(ln, "\t"))
+	}
+	wantCols := strings.Split("mu_bit\tmu_bs\ttime_med\ttime_lo\ttime_hi\tstall_med\tstall_lo\tstall_hi\tutil_med\tutil_lo\tutil_hi", "\t")
+	if header != strings.Join(wantCols, "\t") {
+		t.Fatalf("header = %q", header)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, row := range rows {
+		if len(row) != len(wantCols) {
+			t.Fatalf("row has %d columns, want %d: %v", len(row), len(wantCols), row)
+		}
+		for i, cell := range row {
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				t.Fatalf("column %s = %q is not numeric: %v", wantCols[i], cell, err)
+			}
+		}
+	}
+}
+
+func TestRunFormatJSON(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dag", "airsn", "-scale", "25", "-format", "json",
+		"-bit", "10^0,10^1", "-bs", "2^2", "-p", "4", "-q", "3",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("json output has %d lines, want 2 (must be pure NDJSON):\n%s", len(lines), out.String())
+	}
+	for _, ln := range lines {
+		var row struct {
+			MuBIT float64 `json:"mu_bit"`
+			MuBS  float64 `json:"mu_bs"`
+			Time  struct {
+				Median float64 `json:"median"`
+				Lo     float64 `json:"lo"`
+				Hi     float64 `json:"hi"`
+				Valid  bool    `json:"valid"`
+			} `json:"time"`
+		}
+		if err := json.Unmarshal([]byte(ln), &row); err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+		if row.MuBS != 4 {
+			t.Fatalf("mu_bs = %g, want 4", row.MuBS)
+		}
+		if !row.Time.Valid || row.Time.Lo > row.Time.Median || row.Time.Median > row.Time.Hi {
+			t.Fatalf("time CI malformed: %+v", row.Time)
+		}
+	}
+}
+
+func TestRunProgressETA(t *testing.T) {
+	var out, errw strings.Builder
+	err := run([]string{
+		"-dag", "airsn", "-scale", "25",
+		"-bit", "10^0", "-bs", "2^2,2^4,2^6", "-p", "3", "-q", "3",
+	}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(errw.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("stderr has %d progress lines, want 3:\n%s", len(lines), errw.String())
+	}
+	for i, ln := range lines {
+		prefix := "row " + strconv.Itoa(i+1) + "/3 "
+		if !strings.HasPrefix(ln, prefix) {
+			t.Fatalf("line %d = %q, want prefix %q", i, ln, prefix)
+		}
+		for _, field := range []string{"muBIT=", "muBS=", "elapsed=", "eta="} {
+			if !strings.Contains(ln, field) {
+				t.Fatalf("progress line missing %s: %q", field, ln)
+			}
+		}
+	}
+	if !strings.Contains(lines[2], "eta=0s") {
+		t.Fatalf("final row should report eta=0s: %q", lines[2])
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-dag", "nope"}, &out); err == nil {
+	if err := run([]string{"-dag", "nope"}, &out, io.Discard); err == nil {
 		t.Fatal("unknown dag accepted")
 	}
-	if err := run([]string{"-bit", "zzz"}, &out); err == nil {
+	if err := run([]string{"-bit", "zzz"}, &out, io.Discard); err == nil {
 		t.Fatal("bad -bit accepted")
 	}
-	if err := run([]string{"-bs", ""}, &out); err == nil {
+	if err := run([]string{"-bs", ""}, &out, io.Discard); err == nil {
 		t.Fatal("empty -bs accepted")
+	}
+	if err := run([]string{"-format", "xml"}, &out, io.Discard); err == nil {
+		t.Fatal("bad -format accepted")
 	}
 }

@@ -1,0 +1,79 @@
+package bitset
+
+import "math/bits"
+
+// MinSet is a dense bitset over [0, n) specialized for the simulation
+// engine's eligible-set pattern: Add and PopMin (extract the minimum
+// element) in amortized O(1), with zero steady-state allocations —
+// Reset truncates and clears the word array in place.
+//
+// The minimum is located by scanning words from a hint that only moves
+// backward when an Add inserts below it, so the total scan work across
+// a run is O(n/64 + adds): each Add can force at most one re-scan of
+// the words between the new element and the old hint, and forward
+// progress is never repeated. This replaces a balanced-tree priority
+// queue (O(log n) per op, one node allocation per insert) in the
+// simulator's oblivious policies, where elements are unique ranks in
+// [0, n) and only the minimum is ever removed.
+type MinSet struct {
+	words []uint64
+	hint  int // no element below word index hint
+	count int
+}
+
+// NewMinSet returns an empty MinSet over [0, n).
+func NewMinSet(n int) *MinSet {
+	s := &MinSet{}
+	s.Reset(n)
+	return s
+}
+
+// Reset empties the set and re-sizes it to [0, n), reusing the backing
+// array when it is large enough.
+func (s *MinSet) Reset(n int) {
+	w := (n + 63) / 64
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+	} else {
+		s.words = s.words[:w]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.hint = w
+	s.count = 0
+}
+
+// Add inserts i. Adding an element already present is a no-op for set
+// membership but must not happen when the caller relies on Len (the
+// simulator's ranks are unique, so it never does).
+func (s *MinSet) Add(i int) {
+	w := i >> 6
+	bit := uint64(1) << uint(i&63)
+	if s.words[w]&bit == 0 {
+		s.count++
+	}
+	s.words[w] |= bit
+	if w < s.hint {
+		s.hint = w
+	}
+}
+
+// PopMin removes and returns the smallest element, or ok=false when the
+// set is empty.
+func (s *MinSet) PopMin() (int, bool) {
+	for w := s.hint; w < len(s.words); w++ {
+		if word := s.words[w]; word != 0 {
+			s.hint = w
+			b := bits.TrailingZeros64(word)
+			s.words[w] = word &^ (1 << uint(b))
+			s.count--
+			return w<<6 | b, true
+		}
+	}
+	s.hint = len(s.words)
+	return 0, false
+}
+
+// Len returns the number of elements.
+func (s *MinSet) Len() int { return s.count }

@@ -29,16 +29,25 @@ func splitmix64(x *uint64) uint64 {
 // independent-looking streams.
 func New(seed uint64) *Source {
 	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed resets r in place to the exact state New(seed) would produce,
+// without allocating. The simulation engine keeps one Source per worker
+// and reseeds it for each replication, so the hot path never allocates
+// a generator while every replication still sees the stream its
+// pre-derived seed defines.
+func (r *Source) Reseed(seed uint64) {
 	x := seed
-	for i := range src.s {
-		src.s[i] = splitmix64(&x)
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
 	}
 	// The all-zero state is a fixed point of xoshiro; splitmix64 cannot
 	// produce four zero outputs in a row, but guard anyway.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -1,0 +1,183 @@
+// The whole-grid experiment engine. The earlier driver parallelized one
+// grid point at a time: each measure call spun up its own worker pool,
+// ran 2·P·Q replications, and tore the pool down before the next point
+// started, so the tail of every point ran under-subscribed and the
+// pool-start/stop cost was paid 7×9×2 times per figure. Here the entire
+// grid — every point × both policies × all replications — is one flat
+// work list claimed in chunks through an atomic counter by a single
+// pool of workers that lives for the whole sweep. Each worker owns a
+// Runner (pooled kernel state, kernel.go) and one reusable instance of
+// each policy, so the steady-state replication loop does not allocate.
+//
+// Determinism contract: seeds are pre-derived exactly as the
+// point-at-a-time driver derived them — per point, a base source
+// rng.New(opts.Seed) is Split() once per policy and each policy's P·Q
+// replication seeds are drawn sequentially from its stream — and every
+// replication writes to its own pre-assigned index. Which worker runs
+// which replication, and in what order, therefore cannot affect any
+// result: grid rows are bit-identical across Workers settings and to
+// the pre-engine output (the differential and determinism tests in
+// engine_test.go pin both).
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dag"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// gridBlock is the raw-measurement store for one (point, policy) pair:
+// P·Q pre-derived seeds and the per-replication metric slots they fill.
+type gridBlock struct {
+	params             Params
+	side               int // index into the two policy factories
+	seeds              []uint64
+	execT, stall, util []float64
+}
+
+// CompareGrid measures policies a and b (numerator, denominator) at
+// every parameter point and returns one Comparison per point, in order.
+// All points share opts.Seed, matching a loop of Compare calls: the
+// i-th returned Comparison is bit-identical to Compare(g, points[i], a,
+// b, opts). Execution, however, is flat: all points × both policies ×
+// all replications form one work list served by a single worker pool,
+// so no point's tail leaves workers idle.
+//
+// progress, when non-nil, is invoked as progress(i, comparison) for
+// each point in index order (point i is reported only after points
+// 0..i-1), from a worker goroutine; it must not call back into the
+// engine.
+func CompareGrid(g *dag.Graph, points []Params, a, b func() Policy, opts ExperimentOptions, progress func(int, Comparison)) []Comparison {
+	opts = opts.normalized()
+	for _, p := range points {
+		if err := p.validate(); err != nil {
+			panic(err)
+		}
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	factories := [2]func() Policy{a, b}
+	names := [2]string{a().Name(), b().Name()}
+
+	// Pre-derive every replication seed exactly as the sequential
+	// driver did, before any simulation starts.
+	reps := opts.P * opts.Q
+	blocks := make([]gridBlock, 2*len(points))
+	for i, p := range points {
+		base := rng.New(opts.Seed)
+		for side := 0; side < 2; side++ {
+			stream := base.Split()
+			blk := &blocks[2*i+side]
+			blk.params = p
+			blk.side = side
+			blk.seeds = make([]uint64, reps)
+			for j := range blk.seeds {
+				blk.seeds[j] = stream.Uint64()
+			}
+			blk.execT = make([]float64, reps)
+			blk.stall = make([]float64, reps)
+			blk.util = make([]float64, reps)
+		}
+	}
+
+	total := 2 * len(points) * reps
+	workers := opts.Workers
+	if workers > total {
+		workers = total
+	}
+	// Chunked claiming: big enough to amortize the atomic, small enough
+	// that the final stragglers spread across workers.
+	chunk := total / (workers * 16)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 256 {
+		chunk = 256
+	}
+
+	out := make([]Comparison, len(points))
+	var next atomic.Int64
+	var mu sync.Mutex
+	pendingReps := make([]int, len(points)) // remaining replications per point
+	for i := range pendingReps {
+		pendingReps[i] = 2 * reps
+	}
+	frontier := 0 // next point index to finalize, in order
+
+	// finalizeTo assembles and reports every consecutive completed
+	// point. Called with mu held.
+	finalizeTo := func() {
+		for frontier < len(points) && pendingReps[frontier] == 0 {
+			i := frontier
+			ba, bb := &blocks[2*i], &blocks[2*i+1]
+			ma := assembleMeasurements(names[0], ba.execT, ba.stall, ba.util, opts)
+			mb := assembleMeasurements(names[1], bb.execT, bb.stall, bb.util, opts)
+			out[i] = Comparison{
+				Params:      points[i],
+				A:           ma,
+				B:           mb,
+				ExecTime:    stats.RatioInterval(ma.ExecTime, mb.ExecTime, opts.Confidence),
+				Stalling:    stats.RatioInterval(ma.Stalling, mb.Stalling, opts.Confidence),
+				Utilization: stats.RatioInterval(ma.Utilization, mb.Utilization, opts.Confidence),
+			}
+			frontier++
+			if progress != nil {
+				progress(i, out[i])
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runner := NewRunner(g)
+			var pols [2]Policy
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= total {
+					return
+				}
+				end := start + chunk
+				if end > total {
+					end = total
+				}
+				for r := start; r < end; r++ {
+					blk := &blocks[r/reps]
+					j := r % reps
+					pol := pols[blk.side]
+					if pol == nil {
+						pol = factories[blk.side]()
+						pols[blk.side] = pol
+					}
+					m := runner.Run(blk.params, pol, blk.seeds[j])
+					blk.execT[j] = m.ExecutionTime
+					blk.stall[j] = m.StallProbability
+					blk.util[j] = m.Utilization
+				}
+				// Credit the completed replications to their points and
+				// report any points that just finished.
+				mu.Lock()
+				for bi := start / reps; bi <= (end-1)/reps; bi++ {
+					lo, hi := bi*reps, (bi+1)*reps
+					if lo < start {
+						lo = start
+					}
+					if hi > end {
+						hi = end
+					}
+					pendingReps[bi/2] -= hi - lo
+				}
+				finalizeTo()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

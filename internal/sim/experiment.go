@@ -23,7 +23,8 @@ type ExperimentOptions struct {
 	// Seed makes the whole experiment reproducible.
 	Seed uint64
 	// Workers caps the number of parallel replications (default: number
-	// of CPUs).
+	// of CPUs). Results are bit-identical for every Workers setting;
+	// see engine.go for the contract.
 	Workers int
 }
 
@@ -70,11 +71,29 @@ type Comparison struct {
 	Utilization stats.RatioCI
 }
 
-// measure runs P*Q simulations of g under the policy and builds the
-// empirical sampling distributions. Replications are distributed over a
-// worker pool; seeds are pre-derived sequentially so results do not
-// depend on scheduling.
-func measure(g *dag.Graph, p Params, pol func() Policy, opts ExperimentOptions, seedStream *rng.Source) PolicyMeasurements {
+// assembleMeasurements folds the per-replication raw metrics into the
+// empirical sampling distributions and their summaries. It is shared by
+// the grid engine and the reference path so both aggregate identically.
+func assembleMeasurements(name string, execT, stall, util []float64, opts ExperimentOptions) PolicyMeasurements {
+	pm := PolicyMeasurements{
+		Name:        name,
+		ExecTime:    stats.SamplingDistribution(execT, opts.P, opts.Q),
+		Stalling:    stats.SamplingDistribution(stall, opts.P, opts.Q),
+		Utilization: stats.SamplingDistribution(util, opts.P, opts.Q),
+	}
+	pm.ExecSummary = stats.Summarize(pm.ExecTime)
+	pm.StallSummary = stats.Summarize(pm.Stalling)
+	pm.UtilSummary = stats.Summarize(pm.Utilization)
+	return pm
+}
+
+// measureReference is the pre-engine measurement path: P·Q simulations
+// of one policy at one point, distributed over a dedicated worker pool,
+// one freshly allocated rng.Source per replication. It is retained as
+// the executable specification of the seed-derivation contract — the
+// differential tests pin CompareGrid's output to it bit-for-bit — and
+// is not used by the production drivers.
+func measureReference(g *dag.Graph, p Params, pol func() Policy, opts ExperimentOptions, seedStream *rng.Source) PolicyMeasurements {
 	total := opts.P * opts.Q
 	seeds := make([]uint64, total)
 	for i := range seeds {
@@ -109,22 +128,13 @@ func measure(g *dag.Graph, p Params, pol func() Policy, opts ExperimentOptions, 
 	close(jobs)
 	wg.Wait()
 
-	pm := PolicyMeasurements{
-		ExecTime:    stats.SamplingDistribution(execT, opts.P, opts.Q),
-		Stalling:    stats.SamplingDistribution(stall, opts.P, opts.Q),
-		Utilization: stats.SamplingDistribution(util, opts.P, opts.Q),
-	}
-	pm.ExecSummary = stats.Summarize(pm.ExecTime)
-	pm.StallSummary = stats.Summarize(pm.Stalling)
-	pm.UtilSummary = stats.Summarize(pm.Utilization)
-	return pm
+	return assembleMeasurements("", execT, stall, util, opts)
 }
 
-// Compare measures two policies on g at the given parameters and builds
-// the three ratio confidence intervals (A over B). The policies are
-// constructed per worker via the factories, since Policy implementations
-// are stateful and not safe for concurrent use.
-func Compare(g *dag.Graph, p Params, a, b func() Policy, opts ExperimentOptions) Comparison {
+// compareReference is the pre-engine Compare: one point, each policy
+// measured by measureReference in sequence. Differential tests compare
+// it against the engine.
+func compareReference(g *dag.Graph, p Params, a, b func() Policy, opts ExperimentOptions) Comparison {
 	opts = opts.normalized()
 	if err := p.validate(); err != nil {
 		panic(err)
@@ -134,9 +144,9 @@ func Compare(g *dag.Graph, p Params, a, b func() Policy, opts ExperimentOptions)
 	streamA := base.Split()
 	streamB := base.Split()
 
-	ma := measure(g, p, a, opts, streamA)
+	ma := measureReference(g, p, a, opts, streamA)
 	ma.Name = a().Name()
-	mb := measure(g, p, b, opts, streamB)
+	mb := measureReference(g, p, b, opts, streamB)
 	mb.Name = b().Name()
 
 	return Comparison{
@@ -147,6 +157,15 @@ func Compare(g *dag.Graph, p Params, a, b func() Policy, opts ExperimentOptions)
 		Stalling:    stats.RatioInterval(ma.Stalling, mb.Stalling, opts.Confidence),
 		Utilization: stats.RatioInterval(ma.Utilization, mb.Utilization, opts.Confidence),
 	}
+}
+
+// Compare measures two policies on g at the given parameters and builds
+// the three ratio confidence intervals (A over B). The policies are
+// constructed per worker via the factories, since Policy implementations
+// are stateful and not safe for concurrent use. Compare is CompareGrid
+// on a single point.
+func Compare(g *dag.Graph, p Params, a, b func() Policy, opts ExperimentOptions) Comparison {
+	return CompareGrid(g, []Params{p}, a, b, opts, nil)[0]
 }
 
 // ComparePRIOFIFO is the paper's headline comparison at one parameter
@@ -168,23 +187,33 @@ type GridPoint struct {
 
 // Sweep runs ComparePRIOFIFO over the cross product of the given
 // mu_BIT and mu_BS values, in row-major order (matching the figures:
-// seven mu_BIT sections, mu_BS rising within each).
+// seven mu_BIT sections, mu_BS rising within each). The whole grid is
+// one flat parallel workload (see CompareGrid); progress still fires
+// once per point, in row-major order, as points complete.
 func Sweep(g *dag.Graph, muBITs, muBSs []float64, opts ExperimentOptions, progress func(GridPoint)) []GridPoint {
 	prio := NewPRIO(g)
 	order := append([]int(nil), prio.order...)
-	var out []GridPoint
+
+	points := make([]Params, 0, len(muBITs)*len(muBSs))
 	for _, bit := range muBITs {
 		for _, bs := range muBSs {
-			c := Compare(g, DefaultParams(bit, bs),
-				func() Policy { return NewOblivious("PRIO", order) },
-				func() Policy { return NewFIFO() },
-				opts)
-			gp := GridPoint{MuBIT: bit, MuBS: bs, Comparison: c}
-			if progress != nil {
-				progress(gp)
-			}
-			out = append(out, gp)
+			points = append(points, DefaultParams(bit, bs))
 		}
+	}
+	out := make([]GridPoint, len(points))
+	at := func(i int, c Comparison) GridPoint {
+		return GridPoint{MuBIT: points[i].BatchInterarrival, MuBS: points[i].BatchSize, Comparison: c}
+	}
+	var cb func(int, Comparison)
+	if progress != nil {
+		cb = func(i int, c Comparison) { progress(at(i, c)) }
+	}
+	comps := CompareGrid(g, points,
+		func() Policy { return NewOblivious("PRIO", order) },
+		func() Policy { return NewFIFO() },
+		opts, cb)
+	for i, c := range comps {
+		out[i] = at(i, c)
 	}
 	return out
 }

@@ -3,7 +3,7 @@ package sim
 import (
 	"fmt"
 
-	"repro/internal/btree"
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/rng"
@@ -101,7 +101,7 @@ type TwoLevel struct {
 	rank   []int
 	dagman []int // FIFO of eligible jobs not yet forwarded
 	head   int
-	condor *btree.Tree[int] // forwarded, keyed by rank
+	condor bitset.MinSet // forwarded, keyed by rank
 }
 
 // NewTwoLevel builds the two-queue policy for the given priority order.
@@ -122,18 +122,22 @@ func NewTwoLevelPRIO(g *dag.Graph, maxJobs int) *TwoLevel {
 // Name implements Policy.
 func (t *TwoLevel) Name() string { return t.name }
 
-// Start implements Policy.
+// Start implements Policy. Like Oblivious.Start it resets in place:
+// the rank table is derived once from the immutable order and both
+// queues keep their backing arrays across replications.
 func (t *TwoLevel) Start(g *dag.Graph, _ *rng.Source) {
 	if len(t.order) != g.NumNodes() {
 		panic(fmt.Sprintf("sim: order covers %d jobs, dag has %d", len(t.order), g.NumNodes()))
 	}
-	t.rank = make([]int, len(t.order))
-	for r, v := range t.order {
-		t.rank[v] = r
+	if len(t.rank) != len(t.order) {
+		t.rank = make([]int, len(t.order))
+		for r, v := range t.order {
+			t.rank[v] = r
+		}
 	}
 	t.dagman = t.dagman[:0]
 	t.head = 0
-	t.condor = btree.New(8, func(a, b int) bool { return a < b })
+	t.condor.Reset(len(t.order))
 }
 
 // Eligible implements Policy.
@@ -145,14 +149,21 @@ func (t *TwoLevel) Eligible(v int) {
 // forward tops up the Condor queue from the DAGMan queue in FIFO order.
 func (t *TwoLevel) forward() {
 	for t.head < len(t.dagman) && (t.maxJobs <= 0 || t.condor.Len() < t.maxJobs) {
-		t.condor.Insert(t.rank[t.dagman[t.head]])
+		t.condor.Add(t.rank[t.dagman[t.head]])
 		t.head++
+	}
+	// Same compaction as FIFO: drop the forwarded prefix once it
+	// dominates, so long runs do not retain every job ever enqueued.
+	if t.head > len(t.dagman)/2 {
+		n := copy(t.dagman, t.dagman[t.head:])
+		t.dagman = t.dagman[:n]
+		t.head = 0
 	}
 }
 
 // Next implements Policy.
 func (t *TwoLevel) Next() (int, bool) {
-	r, ok := t.condor.DeleteMin()
+	r, ok := t.condor.PopMin()
 	if !ok {
 		return 0, false
 	}

@@ -1,0 +1,521 @@
+// The allocation-free replication kernel. One paper-scale Figures 6-9
+// grid is 7×9 points × 2 policies × P·Q = 300·300 replications ≈ 11.3M
+// simulator runs, so the per-run constant factor dominates the whole
+// evaluation. This file keeps the discrete-event loop of model.go but
+// moves every piece of per-run state into a reusable runState owned by
+// a Runner, so that in steady state a replication performs zero heap
+// allocations:
+//
+//   - completion events live in a sort-merge eventQueue (bursts of
+//     assignments are bulk-sorted and merged, pops advance an index)
+//     instead of container/heap, whose interface{} Push/Pop box every
+//     event and pay O(log w) dependent cache misses per sift at
+//     fan-out w — tens of thousands of in-flight jobs on the paper's
+//     SDSS dag;
+//   - the dag's adjacency is flattened once per Runner into a CSR
+//     layout (topo) with int32 indices, so the per-completion child
+//     walk reads one contiguous array instead of chasing per-node
+//     slices, and the remaining-parents counters reset with a copy;
+//   - the random source is reseeded in place (rng.Source.Reseed)
+//     rather than constructed per replication;
+//   - policies reset in place in Start, keeping their eligible sets in
+//     bitset.MinSet bitmaps rather than freshly allocated btrees (see
+//     policy.go, extensions.go).
+package sim
+
+import (
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+// completion is a pending job completion event.
+type completion struct {
+	at  float64
+	job int32
+}
+
+// eventHeap is an 8-ary min-heap of completion events ordered by time.
+// In the kernel it only backs eventQueue's overflow path (mid-drain
+// rollover assignments), so it is almost always empty or tiny; the bulk
+// of the event traffic goes through the queue's sorted array. Sifts
+// move a hole instead of swapping, with the same compare sequence (and
+// therefore the same final layout) as the textbook swap formulation.
+type eventHeap []completion
+
+func (h *eventHeap) push(ev completion) {
+	s := append(*h, ev)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		parent := int(uint(i-1) / 8)
+		if s[parent].at <= ev.at {
+			break
+		}
+		s[i] = s[parent]
+		i = parent
+	}
+	s[i] = ev
+}
+
+// pop removes and returns the minimum event. It must not be called on
+// an empty heap.
+func (h *eventHeap) pop() completion {
+	s := *h
+	min := s[0]
+	last := len(s) - 1
+	ev := s[last]
+	*h = s[:last]
+	s = s[:last]
+	if last == 0 {
+		return min
+	}
+	i := 0
+	for {
+		first := 8*i + 1
+		if first >= last {
+			break
+		}
+		smallest := first
+		end := first + 8
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if s[c].at < s[smallest].at {
+				smallest = c
+			}
+		}
+		if ev.at <= s[smallest].at {
+			break
+		}
+		s[i] = s[smallest]
+		i = smallest
+	}
+	s[i] = ev
+	return min
+}
+
+// eventQueue is the kernel's pending-completion queue, shaped around
+// the model's bursty event pattern: completions are pushed in bursts
+// when a batch of worker requests is assigned, and popped in long
+// uninterrupted runs while the simulation drains to the next batch
+// arrival. Instead of paying a heap sift per event — O(log w)
+// dependent cache misses on a wide dag with w in-flight jobs — the
+// queue appends each burst unsorted, sorts the live region once per
+// burst (pdqsort, which is near-linear on the already-sorted remainder
+// plus the new tail), and then pops by advancing an index: O(1) per
+// event, sequential memory.
+//
+// The one interleaving that pushes during a drain is the rollover
+// branch (workers waiting from an earlier under-filled batch grab jobs
+// the moment a completion makes them eligible). Those events go to a
+// small overflow min-heap, and pop/minAt take the smaller of the two
+// fronts, so extraction order is the exact global time order in every
+// case. Equal timestamps across the two structures (or within a sort,
+// which is unstable) are broken arbitrarily — as in any heap, and
+// unobservable in practice: job times are continuous, so exact ties
+// have measure zero.
+//
+// All backing arrays are truncated and reused across replications;
+// steady-state operation allocates nothing.
+type eventQueue struct {
+	buf     []completion // buf[head:sorted) ascending; buf[sorted:] unsorted appends
+	head    int
+	sorted  int
+	over    eventHeap    // small-burst and mid-drain pushes
+	scratch []completion // merge target, swapped with buf
+}
+
+func (q *eventQueue) reset() {
+	q.buf = q.buf[:0]
+	q.head = 0
+	q.sorted = 0
+	q.over = q.over[:0]
+}
+
+func (q *eventQueue) len() int { return len(q.buf) - q.head + len(q.over) }
+
+// appendBurst adds an event without restoring order. The caller must
+// normalize before the next minAt/pop. Used for batch-arrival
+// assignments, which never interleave with pops.
+func (q *eventQueue) appendBurst(at float64, job int32) {
+	q.buf = append(q.buf, completion{at: at, job: job})
+}
+
+// pushSorted adds an event while the queue is live (mid-drain rollover
+// assignments). It goes to the overflow heap, keeping the sorted
+// region intact.
+func (q *eventQueue) pushSorted(at float64, job int32) {
+	q.over.push(completion{at: at, job: job})
+}
+
+// sortCompletions orders s ascending by completion time: a
+// median-of-three quicksort (Sedgewick's sentinel formulation) over an
+// insertion-sort base case, hand-specialized to completion so the
+// float compares inline — slices.SortFunc pays an indirect call per
+// comparison, which dominated the kernel at wide fan-out. Completion
+// times are i.i.d. continuous draws, so adversarial pivot sequences
+// have probability zero and no pattern defense is needed.
+func sortCompletions(s []completion) {
+	for len(s) > 24 {
+		// Median of first/middle/last becomes the pivot in s[0]; the
+		// ordering leaves a >= pivot sentinel at the top for the i scan
+		// and the pivot itself bounds the j scan.
+		m := len(s) / 2
+		l := len(s) - 1
+		if s[m].at < s[0].at {
+			s[m], s[0] = s[0], s[m]
+		}
+		if s[l].at < s[0].at {
+			s[l], s[0] = s[0], s[l]
+		}
+		if s[m].at < s[l].at {
+			s[m], s[l] = s[l], s[m]
+		}
+		s[0], s[l] = s[l], s[0] // pivot (median) to s[0], max of three to s[l]
+		v := s[0].at
+		i, j := 0, l+1
+		for {
+			for i++; s[i].at < v && i < l; i++ {
+			}
+			for j--; v < s[j].at; j-- {
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+		}
+		s[0], s[j] = s[j], s[0]
+		// Recurse into the smaller half, iterate on the larger.
+		if j < len(s)-j-1 {
+			sortCompletions(s[:j])
+			s = s[j+1:]
+		} else {
+			sortCompletions(s[j+1:])
+			s = s[:j]
+		}
+	}
+	for i := 1; i < len(s); i++ {
+		ev := s[i]
+		j := i - 1
+		for ; j >= 0 && s[j].at > ev.at; j-- {
+			s[j+1] = s[j]
+		}
+		s[j+1] = ev
+	}
+}
+
+// normalize restores the queue invariant after appendBurst calls. A
+// burst that is large relative to the live sorted region is sorted on
+// its own and then linearly merged with the region into the scratch
+// buffer — O(burst·log burst + live) with sequential memory access,
+// the case a heap handles worst. A small burst is instead fed to the
+// overflow heap, because an O(live) merge per handful of events would
+// be quadratic across the many small batches of a short-interarrival
+// grid point; with every burst small the queue degrades gracefully
+// into the plain heap it embeds. No-op when nothing was appended.
+func (q *eventQueue) normalize() {
+	tail := len(q.buf) - q.sorted
+	if tail == 0 {
+		return
+	}
+	live := q.sorted - q.head
+	if tail*32 < live {
+		for _, ev := range q.buf[q.sorted:] {
+			q.over.push(ev)
+		}
+		q.buf = q.buf[:q.sorted]
+		return
+	}
+	// The overflow heap is deliberately left alone: folding it in here
+	// would re-sort the same events once per fold (quadratic when burst
+	// sizes oscillate around the threshold). Events enter the sorted
+	// region or the heap exactly once; pop drains both.
+	sortCompletions(q.buf[q.sorted:])
+	if live == 0 {
+		n := copy(q.buf, q.buf[q.sorted:])
+		q.buf = q.buf[:n]
+		q.head = 0
+		q.sorted = n
+		return
+	}
+	a, b := q.buf[q.head:q.sorted], q.buf[q.sorted:]
+	out := q.scratch[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].at <= b[j].at {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	q.scratch = q.buf[:0]
+	q.buf = out
+	q.head = 0
+	q.sorted = len(out)
+}
+
+// minAt returns the earliest pending completion time. The queue must
+// be normalized and non-empty.
+func (q *eventQueue) minAt() float64 {
+	if len(q.over) > 0 && (q.head >= len(q.buf) || q.over[0].at < q.buf[q.head].at) {
+		return q.over[0].at
+	}
+	return q.buf[q.head].at
+}
+
+// pop removes and returns the earliest event. The queue must be
+// normalized and non-empty.
+func (q *eventQueue) pop() (float64, int32) {
+	if len(q.over) > 0 && (q.head >= len(q.buf) || q.over[0].at < q.buf[q.head].at) {
+		ev := q.over.pop()
+		return ev.at, ev.job
+	}
+	ev := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+		q.sorted = 0
+	}
+	return ev.at, ev.job
+}
+
+// topo is the dag flattened for the kernel: children in CSR form,
+// in-degrees, and the source nodes (in index order), all with int32
+// indices to halve the memory traffic of the hot child walk.
+type topo struct {
+	g          *dag.Graph // the graph this layout was built from
+	childStart []int32    // len n+1; children of v are children[childStart[v]:childStart[v+1]]
+	children   []int32
+	indeg      []int32
+	sources    []int32
+}
+
+// init (re)builds the layout for g, reusing buffers when possible. The
+// graph must not be mutated while a runState built from it is in use.
+func (t *topo) init(g *dag.Graph) {
+	if t.g == g {
+		return
+	}
+	n := g.NumNodes()
+	if cap(t.childStart) < n+1 {
+		t.childStart = make([]int32, n+1)
+	} else {
+		t.childStart = t.childStart[:n+1]
+	}
+	if cap(t.indeg) < n {
+		t.indeg = make([]int32, n)
+	} else {
+		t.indeg = t.indeg[:n]
+	}
+	t.children = t.children[:0]
+	t.sources = t.sources[:0]
+	for v := 0; v < n; v++ {
+		t.childStart[v] = int32(len(t.children))
+		for _, c := range g.Children(v) {
+			t.children = append(t.children, int32(c))
+		}
+		t.indeg[v] = int32(g.InDegree(v))
+		if t.indeg[v] == 0 {
+			t.sources = append(t.sources, int32(v))
+		}
+	}
+	t.childStart[n] = int32(len(t.children))
+	t.g = g
+}
+
+// runState is the reusable per-worker state of one replication: the
+// flattened dag, the remaining-parents counters, and the
+// completion-event heap. The zero value is ready to use; run grows the
+// buffers on first use and then only truncates them.
+type runState struct {
+	topo      topo
+	remaining []int32
+	pending   eventQueue
+}
+
+// reset prepares the state for a replication on g, reusing capacity.
+func (st *runState) reset(g *dag.Graph, n int) {
+	st.topo.init(g)
+	if cap(st.remaining) < n {
+		st.remaining = make([]int32, n)
+	} else {
+		st.remaining = st.remaining[:n]
+	}
+	copy(st.remaining, st.topo.indeg)
+	st.pending.reset()
+}
+
+// Runner owns the pooled state for repeated replications on one dag:
+// a runState (with the dag flattened once) and a random source reseeded
+// in place per run. In steady state (after buffer capacities and the
+// policy's internal state have grown to the dag's high-water mark) Run
+// performs zero heap allocations; the experiment engine keeps one
+// Runner per worker for the whole grid. A Runner is not safe for
+// concurrent use, and the dag must not be mutated while the Runner is
+// in use.
+type Runner struct {
+	g   *dag.Graph
+	st  runState
+	src *rng.Source
+}
+
+// NewRunner returns a Runner for repeated simulations of g.
+func NewRunner(g *dag.Graph) *Runner {
+	return &Runner{g: g, src: rng.New(0)}
+}
+
+// Run simulates one execution of the Runner's dag under pol with the
+// given replication seed. It is equivalent to
+// sim.Run(g, p, pol, rng.New(seed)) — bit-identical metrics — without
+// the per-replication allocations.
+func (r *Runner) Run(p Params, pol Policy, seed uint64) Metrics {
+	r.src.Reseed(seed)
+	return r.st.run(r.g, p, pol, r.src, nil)
+}
+
+// run is the discrete-event kernel shared by Run, RunObserved, and
+// Runner.Run. All mutable per-replication state lives in st, the
+// policy, and src; the kernel itself allocates nothing once st's
+// buffers have grown to the dag's high-water mark.
+func (st *runState) run(g *dag.Graph, p Params, pol Policy, src *rng.Source, obs Observer) Metrics {
+	if err := p.validate(); err != nil {
+		panic(err)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return Metrics{}
+	}
+
+	st.reset(g, n)
+	remaining := st.remaining // unexecuted parents
+	childStart, children := st.topo.childStart, st.topo.children
+	pol.Start(g, src)
+	for _, v := range st.topo.sources {
+		pol.Eligible(int(v))
+	}
+
+	now := 0.0
+	nextBatch := 0.0 // first batch arrives at time 0
+	unassigned := n  // jobs not yet handed to a worker
+	executed := 0
+	lastCompletion := 0.0
+	batches, stalls, requests := 0, 0, 0
+	waiting := 0 // rolled-over unfilled requests (RolloverWorkers only)
+
+	// assign does not escape run, so the closure and the variables it
+	// captures stay on the stack (the kernel's zero-alloc tests would
+	// catch a regression). mid says whether the queue is live (a
+	// rollover assignment during the drain) or between drains (a
+	// batch-arrival burst, folded in by the next normalize).
+	assign := func(v int, mid bool) {
+		if obs != nil {
+			obs.Assigned(now, v)
+		}
+		unassigned--
+		mean := p.JobTimeMean
+		if len(p.JobMeans) > 0 {
+			mean = p.JobMeans[v]
+		}
+		d := src.Normal(mean, p.JobTimeStdDev)
+		if d < 1e-3 {
+			d = 1e-3 // a job cannot run backwards in time
+		}
+		if mid {
+			st.pending.pushSorted(now+d, int32(v))
+		} else {
+			st.pending.appendBurst(now+d, int32(v))
+		}
+	}
+
+	for executed < n {
+		// Advance to the earlier of the next batch arrival and the next
+		// completion. Completions at the same instant as a batch are
+		// processed first: their children are eligible for that batch.
+		st.pending.normalize()
+		for st.pending.len() > 0 && (unassigned == 0 || st.pending.minAt() <= nextBatch) {
+			at, job := st.pending.pop()
+			now = at
+			if p.FailureProb > 0 && src.Float64() < p.FailureProb {
+				// The worker failed: the job is unexecuted and eligible
+				// again, waiting for a future request.
+				unassigned++
+				if obs != nil {
+					obs.Failed(now, int(job))
+				}
+				pol.Eligible(int(job))
+				continue
+			}
+			executed++
+			lastCompletion = at
+			if obs != nil {
+				obs.Completed(now, int(job))
+			}
+			for ci, end := childStart[job], childStart[job+1]; ci < end; ci++ {
+				c := children[ci]
+				remaining[c]--
+				if remaining[c] == 0 {
+					pol.Eligible(int(c))
+				}
+			}
+			// Rolled-over workers take newly eligible jobs immediately.
+			for waiting > 0 && unassigned > 0 {
+				v, ok := pol.Next()
+				if !ok {
+					break
+				}
+				waiting--
+				assign(v, true)
+			}
+		}
+		if executed == n {
+			break
+		}
+		if unassigned == 0 {
+			continue // drain remaining completions
+		}
+
+		// Batch arrival.
+		now = nextBatch
+		size := batchSize(src, p.BatchSize)
+		batches++
+		requests += size
+		served := 0
+		for i := 0; i < size; i++ {
+			v, ok := pol.Next()
+			if !ok {
+				break
+			}
+			served++
+			assign(v, false)
+		}
+		if served == 0 {
+			stalls++
+		}
+		if obs != nil {
+			obs.BatchArrived(now, size, served)
+		}
+		if p.RolloverWorkers {
+			waiting += size - served
+		}
+		nextBatch = now + src.Exp(p.BatchInterarrival)
+	}
+
+	m := Metrics{
+		ExecutionTime: lastCompletion,
+		Batches:       batches,
+		Requests:      requests,
+	}
+	if batches > 0 {
+		m.StallProbability = float64(stalls) / float64(batches)
+	}
+	if requests > 0 {
+		m.Utilization = float64(n) / float64(requests)
+	}
+	return m
+}

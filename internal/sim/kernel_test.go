@@ -1,0 +1,390 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/workloads"
+)
+
+// TestRunnerMatchesRun pins the Runner's equivalence contract:
+// Runner.Run(p, pol, seed) returns exactly Run(g, p, pol, rng.New(seed))
+// even as the pooled state carries over between replications, across
+// policies and the failure/rollover branches.
+func TestRunnerMatchesRun(t *testing.T) {
+	g := workloads.AIRSN(15)
+	fail := DefaultParams(1, 8)
+	fail.FailureProb = 0.15
+	roll := DefaultParams(0.3, 4)
+	roll.RolloverWorkers = true
+	params := []Params{DefaultParams(1, 8), fail, roll}
+
+	for _, name := range []string{"prio", "fifo", "random", "prio-maxjobs=4"} {
+		factory, err := PolicyFactory(name, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner := NewRunner(g)
+		pooled := factory()
+		for _, p := range params {
+			for seed := uint64(1); seed <= 20; seed++ {
+				got := runner.Run(p, pooled, seed)
+				want := Run(g, p, factory(), rng.New(seed))
+				if got != want {
+					t.Fatalf("%s seed %d: pooled run %+v, fresh run %+v", name, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunKernelZeroAllocs is the regression gate for the kernel's
+// headline property: once the pooled buffers have reached the dag's
+// high-water mark, a replication performs zero heap allocations. CI
+// runs this on every PR.
+func TestRunKernelZeroAllocs(t *testing.T) {
+	g := workloads.AIRSN(15)
+	p := DefaultParams(1, 8)
+	for _, name := range []string{"prio", "fifo"} {
+		factory, err := PolicyFactory(name, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner := NewRunner(g)
+		pol := factory()
+		seed := uint64(0)
+		// Warm the buffers past the high-water mark of the seeds the
+		// measurement below will replay.
+		for i := 0; i < 64; i++ {
+			seed++
+			runner.Run(p, pol, seed)
+		}
+		seed = 0
+		allocs := testing.AllocsPerRun(64, func() {
+			seed++
+			runner.Run(p, pol, seed)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.2f allocs per steady-state replication, want 0", name, allocs)
+		}
+	}
+}
+
+// TestEventHeapOrdering drives the overflow min-heap with a random
+// push/pop interleaving and checks it always yields the minimum.
+func TestEventHeapOrdering(t *testing.T) {
+	r := rng.New(3)
+	var h eventHeap
+	var live []float64
+	for step := 0; step < 5000; step++ {
+		if len(live) == 0 || r.Float64() < 0.6 {
+			at := r.Float64()
+			h.push(completion{at: at, job: int32(step)})
+			live = append(live, at)
+		} else {
+			ev := h.pop()
+			sort.Float64s(live)
+			if ev.at != live[0] {
+				t.Fatalf("step %d: popped %v, min is %v", step, ev.at, live[0])
+			}
+			live = live[1:]
+		}
+	}
+	// Drain: must come out sorted.
+	sort.Float64s(live)
+	for _, want := range live {
+		if got := h.pop().at; got != want {
+			t.Fatalf("drain: popped %v, want %v", got, want)
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not empty after drain: %d left", len(h))
+	}
+}
+
+// TestSortCompletions checks the specialized quicksort against the
+// standard library on random data and on the patterns quicksorts get
+// wrong: pre-sorted, reversed, constant, and few-distinct inputs, plus
+// every length through the insertion-sort cutover.
+func TestSortCompletions(t *testing.T) {
+	r := rng.New(11)
+	check := func(name string, s []completion) {
+		t.Helper()
+		want := make([]float64, len(s))
+		for i, ev := range s {
+			want[i] = ev.at
+		}
+		sort.Float64s(want)
+		sortCompletions(s)
+		for i, ev := range s {
+			if ev.at != want[i] {
+				t.Fatalf("%s: index %d = %v, want %v", name, i, ev.at, want[i])
+			}
+		}
+	}
+	for n := 0; n <= 60; n++ {
+		s := make([]completion, n)
+		for i := range s {
+			s[i] = completion{at: r.Float64(), job: int32(i)}
+		}
+		check(fmt.Sprintf("random-%d", n), s)
+	}
+	big := func(gen func(i int) float64) []completion {
+		s := make([]completion, 5000)
+		for i := range s {
+			s[i] = completion{at: gen(i), job: int32(i)}
+		}
+		return s
+	}
+	check("random-big", big(func(int) float64 { return r.Float64() }))
+	check("sorted", big(func(i int) float64 { return float64(i) }))
+	check("reversed", big(func(i int) float64 { return float64(-i) }))
+	check("constant", big(func(int) float64 { return 1.5 }))
+	check("few-distinct", big(func(i int) float64 { return float64(i % 3) }))
+	check("sawtooth", big(func(i int) float64 { return float64(i % 50) }))
+}
+
+// TestEventQueueOrdering drives the sort-merge event queue through the
+// kernel's access pattern — bursts of appends, a normalize, a run of
+// pops with occasional mid-drain pushes (the rollover path) — against
+// a sorted-slice oracle.
+func TestEventQueueOrdering(t *testing.T) {
+	r := rng.New(9)
+	var q eventQueue
+	var live []float64
+	popOne := func(step int) {
+		at, _ := q.pop()
+		sort.Float64s(live)
+		if at != live[0] {
+			t.Fatalf("step %d: popped %v, min is %v", step, at, live[0])
+		}
+		live = live[1:]
+	}
+	for step := 0; step < 2000; step++ {
+		// Burst of appends (a batch arrival).
+		burst := int(r.Float64() * 20)
+		for i := 0; i < burst; i++ {
+			at := r.Float64() * 100
+			q.appendBurst(at, int32(i))
+			live = append(live, at)
+		}
+		q.normalize()
+		if q.len() != len(live) {
+			t.Fatalf("step %d: len %d, want %d", step, q.len(), len(live))
+		}
+		// Drain some, with occasional mid-drain pushes.
+		drain := int(r.Float64() * float64(len(live)+1))
+		for i := 0; i < drain && len(live) > 0; i++ {
+			if r.Float64() < 0.2 {
+				at := r.Float64() * 100
+				q.pushSorted(at, int32(i))
+				live = append(live, at)
+			}
+			popOne(step)
+		}
+	}
+	q.normalize()
+	for len(live) > 0 {
+		popOne(-1)
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not empty after drain: %d left", q.len())
+	}
+	// Reset gives back an empty, reusable queue.
+	q.appendBurst(1, 1)
+	q.reset()
+	if q.len() != 0 {
+		t.Fatal("reset left events behind")
+	}
+}
+
+// TestTopoLayout checks the CSR flattening against the Graph API.
+func TestTopoLayout(t *testing.T) {
+	g := workloads.AIRSN(10)
+	var tp topo
+	tp.init(g)
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		kids := g.Children(v)
+		lo, hi := tp.childStart[v], tp.childStart[v+1]
+		if int(hi-lo) != len(kids) {
+			t.Fatalf("node %d: %d children in layout, want %d", v, hi-lo, len(kids))
+		}
+		for i, c := range kids {
+			if tp.children[lo+int32(i)] != int32(c) {
+				t.Fatalf("node %d child %d: layout %d, want %d", v, i, tp.children[lo+int32(i)], c)
+			}
+		}
+		if int(tp.indeg[v]) != g.InDegree(v) {
+			t.Fatalf("node %d indeg %d, want %d", v, tp.indeg[v], g.InDegree(v))
+		}
+	}
+	var sources []int32
+	for v := 0; v < n; v++ {
+		if g.InDegree(v) == 0 {
+			sources = append(sources, int32(v))
+		}
+	}
+	if len(sources) != len(tp.sources) {
+		t.Fatalf("sources %v, want %v", tp.sources, sources)
+	}
+	for i := range sources {
+		if sources[i] != tp.sources[i] {
+			t.Fatalf("sources %v, want %v", tp.sources, sources)
+		}
+	}
+	// Re-init on the same graph is a no-op; on a different graph it
+	// rebuilds.
+	prev := tp.g
+	tp.init(g)
+	if tp.g != prev {
+		t.Fatal("re-init on same graph rebuilt")
+	}
+	g2 := workloads.AIRSN(20)
+	tp.init(g2)
+	if tp.g != g2 || len(tp.indeg) != g2.NumNodes() {
+		t.Fatal("init on new graph did not rebuild")
+	}
+}
+
+// TestFIFOCompaction asserts the satellite fix: the FIFO queue no
+// longer retains every job ever enqueued. A long enqueue/dequeue churn
+// (the failure/rollover pattern that re-enqueues jobs indefinitely)
+// must keep the backing slice bounded by the live queue length, not the
+// total enqueue count.
+func TestFIFOCompaction(t *testing.T) {
+	f := NewFIFO()
+	f.Start(independentDag(4), rng.New(1))
+	const churn = 100000
+	maxLen := 0
+	for i := 0; i < churn; i++ {
+		f.Eligible(i)
+		f.Eligible(i + churn)
+		if _, ok := f.Next(); !ok {
+			t.Fatal("queue unexpectedly empty")
+		}
+		if len(f.queue) > maxLen {
+			maxLen = len(f.queue)
+		}
+	}
+	// The live backlog grows by one per iteration; the backing slice
+	// may hold up to ~2x the live entries between compactions but must
+	// not hold all 2*churn ever-enqueued jobs.
+	live := churn + 1
+	if maxLen > 2*live+4 {
+		t.Fatalf("queue slice grew to %d for %d live entries: consumed prefix retained", maxLen, live)
+	}
+
+	// Steady-state churn on a near-empty queue: the slice must stay
+	// tiny even after many cycles. (Fresh policy: Start deliberately
+	// keeps grown capacity for reuse across replications.)
+	f = NewFIFO()
+	f.Start(independentDag(4), rng.New(1))
+	for i := 0; i < churn; i++ {
+		f.Eligible(i)
+		f.Next()
+	}
+	if len(f.queue) > 4 || cap(f.queue) > 1024 {
+		t.Fatalf("steady-state queue len=%d cap=%d, want compacted", len(f.queue), cap(f.queue))
+	}
+	// Order is preserved across compactions.
+	f.Start(independentDag(4), rng.New(1))
+	next := 0
+	for i := 0; i < 1000; i++ {
+		f.Eligible(2 * i)
+		f.Eligible(2*i + 1)
+		v, ok := f.Next()
+		if !ok || v != next {
+			t.Fatalf("pop %d = %d,%v want %d", i, v, ok, next)
+		}
+		next++
+	}
+}
+
+// TestTwoLevelCompaction covers the same fix on the DAGMan-queue side
+// of the two-level policy.
+func TestTwoLevelCompaction(t *testing.T) {
+	order := make([]int, 4)
+	for i := range order {
+		order[i] = i
+	}
+	tl := NewTwoLevel(order, 1)
+	tl.Start(independentDag(4), rng.New(1))
+	for i := 0; i < 100000; i++ {
+		tl.Eligible(i % 4)
+		if _, ok := tl.Next(); !ok {
+			t.Fatal("two-level queue unexpectedly empty")
+		}
+	}
+	if len(tl.dagman) > 8 || cap(tl.dagman) > 1024 {
+		t.Fatalf("dagman queue len=%d cap=%d, want compacted", len(tl.dagman), cap(tl.dagman))
+	}
+}
+
+// BenchmarkRunKernel is the replication-kernel micro-benchmark: one
+// paper-scale replication per iteration through the pooled Runner, the
+// unit of work the 11.3M-run evaluation repeats. Each paper dag runs
+// with a batch size matched to its width, as in Figures 6-9 (AIRSN is
+// narrow, SDSS is ~1e4 jobs wide). Compare BenchmarkRunAIRSN (fresh
+// state per run, the pre-engine cost) in sim_test.go; make bench-sim
+// records both in BENCH_sim.json.
+func BenchmarkRunKernel(b *testing.B) {
+	for _, w := range []struct {
+		dag  string
+		muBS float64
+	}{{"airsn", 16}, {"inspiral", 512}, {"sdss", 8192}} {
+		g, err := workloads.ByName(w.dag, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		order := core.Prioritize(g).Order
+		p := DefaultParams(1, w.muBS)
+		for _, tc := range []struct {
+			name string
+			pol  Policy
+		}{{"prio", NewOblivious("PRIO", order)}, {"fifo", NewFIFO()}} {
+			b.Run(w.dag+"/"+tc.name, func(b *testing.B) {
+				runner := NewRunner(g)
+				runner.Run(p, tc.pol, 1) // reach steady state before measuring
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runner.Run(p, tc.pol, uint64(i))
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reps/s")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineGrid runs a small whole-grid experiment through the
+// flat scheduler: 4 points × 2 policies × 36 replications per
+// iteration on scaled AIRSN — the end-to-end shape of a Figures 6-9
+// sweep.
+func BenchmarkEngineGrid(b *testing.B) {
+	g, err := workloads.ByName("airsn", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, _ := PolicyFactory("prio", g)
+	bf, _ := PolicyFactory("fifo", g)
+	points := []Params{
+		DefaultParams(1, 8), DefaultParams(1, 32),
+		DefaultParams(10, 8), DefaultParams(10, 32),
+	}
+	opts := ExperimentOptions{P: 6, Q: 6, Seed: 1}
+	reps := float64(len(points) * 2 * opts.P * opts.Q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i + 1)
+		out := CompareGrid(g, points, a, bf, opts, nil)
+		if !out[0].ExecTime.Valid {
+			b.Fatal("invalid CI")
+		}
+	}
+	b.ReportMetric(reps*float64(b.N)/b.Elapsed().Seconds(), "reps/s")
+}

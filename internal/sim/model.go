@@ -4,7 +4,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -109,159 +108,14 @@ type Metrics struct {
 	Requests int
 }
 
-// completion is a pending job completion event.
-type completion struct {
-	at  float64
-	job int
-}
-
-type completionHeap []completion
-
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // Run simulates one execution of g under the given policy and returns
 // the metrics. The source provides all randomness, so equal seeds give
-// identical runs.
+// identical runs. Run allocates fresh event state per call; callers
+// replicating in a loop should use a Runner (see kernel.go), which is
+// allocation-free in steady state.
 func Run(g *dag.Graph, p Params, pol Policy, src *rng.Source) Metrics {
-	return run(g, p, pol, src, nil)
-}
-
-func run(g *dag.Graph, p Params, pol Policy, src *rng.Source, obs Observer) Metrics {
-	if err := p.validate(); err != nil {
-		panic(err)
-	}
-	n := g.NumNodes()
-	if n == 0 {
-		return Metrics{}
-	}
-
-	remaining := make([]int, n) // unexecuted parents
-	pol.Start(g, src)
-	for v := 0; v < n; v++ {
-		remaining[v] = g.InDegree(v)
-		if remaining[v] == 0 {
-			pol.Eligible(v)
-		}
-	}
-
-	var pending completionHeap
-	now := 0.0
-	nextBatch := 0.0 // first batch arrives at time 0
-	unassigned := n  // jobs not yet handed to a worker
-	executed := 0
-	lastCompletion := 0.0
-	batches, stalls, requests := 0, 0, 0
-	waiting := 0 // rolled-over unfilled requests (RolloverWorkers only)
-
-	assign := func(v int) {
-		if obs != nil {
-			obs.Assigned(now, v)
-		}
-		unassigned--
-		mean := p.JobTimeMean
-		if len(p.JobMeans) > 0 {
-			mean = p.JobMeans[v]
-		}
-		d := src.Normal(mean, p.JobTimeStdDev)
-		if d < 1e-3 {
-			d = 1e-3 // a job cannot run backwards in time
-		}
-		heap.Push(&pending, completion{at: now + d, job: v})
-	}
-
-	for executed < n {
-		// Advance to the earlier of the next batch arrival and the next
-		// completion. Completions at the same instant as a batch are
-		// processed first: their children are eligible for that batch.
-		for len(pending) > 0 && (unassigned == 0 || pending[0].at <= nextBatch) {
-			ev := heap.Pop(&pending).(completion)
-			now = ev.at
-			if p.FailureProb > 0 && src.Float64() < p.FailureProb {
-				// The worker failed: the job is unexecuted and eligible
-				// again, waiting for a future request.
-				unassigned++
-				if obs != nil {
-					obs.Failed(now, ev.job)
-				}
-				pol.Eligible(ev.job)
-				continue
-			}
-			executed++
-			lastCompletion = ev.at
-			if obs != nil {
-				obs.Completed(now, ev.job)
-			}
-			for _, c := range g.Children(ev.job) {
-				remaining[c]--
-				if remaining[c] == 0 {
-					pol.Eligible(c)
-				}
-			}
-			// Rolled-over workers take newly eligible jobs immediately.
-			for waiting > 0 && unassigned > 0 {
-				v, ok := pol.Next()
-				if !ok {
-					break
-				}
-				waiting--
-				assign(v)
-			}
-		}
-		if executed == n {
-			break
-		}
-		if unassigned == 0 {
-			continue // drain remaining completions
-		}
-
-		// Batch arrival.
-		now = nextBatch
-		size := batchSize(src, p.BatchSize)
-		batches++
-		requests += size
-		served := 0
-		for i := 0; i < size; i++ {
-			v, ok := pol.Next()
-			if !ok {
-				break
-			}
-			served++
-			assign(v)
-		}
-		if served == 0 {
-			stalls++
-		}
-		if obs != nil {
-			obs.BatchArrived(now, size, served)
-		}
-		if p.RolloverWorkers {
-			waiting += size - served
-		}
-		nextBatch = now + src.Exp(p.BatchInterarrival)
-	}
-
-	m := Metrics{
-		ExecutionTime: lastCompletion,
-		Batches:       batches,
-		Requests:      requests,
-	}
-	if batches > 0 {
-		m.StallProbability = float64(stalls) / float64(batches)
-	}
-	if requests > 0 {
-		m.Utilization = float64(n) / float64(requests)
-	}
-	return m
+	var st runState
+	return st.run(g, p, pol, src, nil)
 }
 
 // batchSize draws the discretized exponential batch size.

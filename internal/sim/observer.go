@@ -22,5 +22,6 @@ type Observer interface {
 
 // RunObserved is Run with an event observer (which may be nil).
 func RunObserved(g *dag.Graph, p Params, pol Policy, src *rng.Source, obs Observer) Metrics {
-	return run(g, p, pol, src, obs)
+	var st runState
+	return st.run(g, p, pol, src, obs)
 }

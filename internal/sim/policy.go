@@ -3,7 +3,7 @@ package sim
 import (
 	"fmt"
 
-	"repro/internal/btree"
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/rng"
@@ -13,12 +13,19 @@ import (
 // order P over the jobs; when requests arrive, the eligible unassigned
 // jobs smallest under P are handed out. With P = the prio tool's
 // schedule this is the PRIO algorithm.
+//
+// An Oblivious instance is reused across replications by the engine:
+// Start resets the eligible set in place (truncating the rank heap's
+// backing array) and the rank table is derived from the immutable order
+// once, on the first Start, so steady-state runs allocate nothing.
 type Oblivious struct {
 	name string
 	rank []int
 	// eligible holds the ranks of the currently eligible, unassigned
-	// jobs; Next pops the minimum rank.
-	eligible *btree.Tree[int]
+	// jobs; Next pops the minimum rank. Ranks are unique, so the pop
+	// order is a pure function of the set's contents — swapping the
+	// earlier btree for the reusable bitmap cannot change a schedule.
+	eligible bitset.MinSet
 	order    []int // rank -> job
 }
 
@@ -42,19 +49,21 @@ func (o *Oblivious) Start(g *dag.Graph, _ *rng.Source) {
 	if len(o.order) != g.NumNodes() {
 		panic(fmt.Sprintf("sim: order covers %d jobs, dag has %d", len(o.order), g.NumNodes()))
 	}
-	o.rank = make([]int, len(o.order))
-	for r, v := range o.order {
-		o.rank[v] = r
+	if len(o.rank) != len(o.order) {
+		o.rank = make([]int, len(o.order))
+		for r, v := range o.order {
+			o.rank[v] = r
+		}
 	}
-	o.eligible = btree.New(8, func(a, b int) bool { return a < b })
+	o.eligible.Reset(len(o.order))
 }
 
 // Eligible implements Policy.
-func (o *Oblivious) Eligible(v int) { o.eligible.Insert(o.rank[v]) }
+func (o *Oblivious) Eligible(v int) { o.eligible.Add(o.rank[v]) }
 
 // Next implements Policy.
 func (o *Oblivious) Next() (int, bool) {
-	r, ok := o.eligible.DeleteMin()
+	r, ok := o.eligible.PopMin()
 	if !ok {
 		return 0, false
 	}
@@ -86,9 +95,23 @@ func (f *FIFO) Eligible(v int) { f.queue = append(f.queue, v) }
 // Next implements Policy.
 func (f *FIFO) Next() (int, bool) {
 	if f.head >= len(f.queue) {
+		// Empty: drop the consumed prefix entirely so the next append
+		// reuses the front of the backing array.
+		f.queue = f.queue[:0]
+		f.head = 0
 		return 0, false
 	}
 	v := f.queue[f.head]
 	f.head++
+	// Compact once the consumed prefix dominates the slice. Without
+	// this the queue only ever grows: on long runs with failures or
+	// rolled-over workers it retains every job ever enqueued. Each
+	// element is copied at most once per halving, so Next stays
+	// amortized O(1), and the pop order is untouched.
+	if f.head > len(f.queue)/2 {
+		n := copy(f.queue, f.queue[f.head:])
+		f.queue = f.queue[:n]
+		f.head = 0
+	}
 	return v, true
 }
