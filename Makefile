@@ -13,19 +13,22 @@ test:
 	$(GO) vet ./...
 	$(GO) test ./...
 
-# The full gate: formatting, vet, the project's own analyzers, and the
-# whole suite under the race detector (exercises the parallel
-# pipeline's differential tests).
-check:
+# The full gate: formatting, vet, the project's own analyzers (via the
+# lint target — one definition of the lint step), and the whole suite
+# under the race detector (exercises the parallel pipeline's
+# differential tests).
+check: lint
 	@unformatted=$$(gofmt -l . | grep -v /testdata/ || true); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/priolint ./...
 	$(GO) test -race ./...
 
-# Just the determinism/concurrency analyzers (see internal/analysis).
+# The determinism/concurrency/zero-alloc analyzers (see
+# internal/analysis). Run over ./... so the interprocedural analyzers
+# see every implementation; spot-checking one package weakens noalloc
+# and purity to intra-package claims.
 lint:
 	$(GO) run ./cmd/priolint ./...
 
@@ -62,12 +65,15 @@ fuzz:
 	$(GO) test ./internal/dagman -fuzz FuzzParseSubmit -fuzztime 30s
 	$(GO) test ./internal/dagman -fuzz FuzzParseDAGMan -fuzztime 30s
 	$(GO) test ./internal/core -fuzz FuzzSchedule -fuzztime 30s
+	$(GO) test ./internal/sim -fuzz FuzzKernelReplication -fuzztime 30s
 
 # Short fuzz pass for CI: 10s per target on the invariants that matter
-# most (parser round-trip, schedule validity/determinism).
+# most (parser round-trip, schedule validity/determinism, pooled-kernel
+# equivalence).
 fuzz-smoke:
 	$(GO) test ./internal/dagman -run xxx -fuzz FuzzParseDAGMan -fuzztime 10s
 	$(GO) test ./internal/core -run xxx -fuzz FuzzSchedule -fuzztime 10s
+	$(GO) test ./internal/sim -run xxx -fuzz FuzzKernelReplication -fuzztime 10s
 
 # Regenerate the Figures 6-9 sweeps into results/ (about 10 minutes).
 sweeps:

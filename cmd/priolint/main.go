@@ -3,16 +3,33 @@
 //
 // Usage:
 //
-//	priolint [-only a,b] [packages]
+//	priolint [-only a,b] [-format text|json] [-debug-callgraph] [packages]
 //
 // With no package arguments it analyzes ./... . Test files are included.
 // The exit code is 0 when the tree is clean, 1 when any diagnostic was
 // reported, and 2 on usage or load errors.
+//
+// The suite has two kinds of analyzers. Package analyzers run once per
+// package, in dependency order, sharing a fact store — purity exports
+// an Impure fact for every effectful function it sees, so a violation
+// deep in a dependency surfaces at the annotated entry point with the
+// whole call chain. Program analyzers (noalloc, nestedlock) run once
+// over all loaded packages together with the whole-program call graph.
+// Interface calls resolve only to implementations loaded from source,
+// so run the tool over ./... (the default) for the contracts to be
+// proved rather than spot-checked.
+//
+// -format json emits the findings as a JSON array of
+// {file, line, col, analyzer, message, path} objects, where path is
+// the call chain justifying an interprocedural finding (empty
+// otherwise). -debug-callgraph dumps every call edge before analysis.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"path/filepath"
@@ -20,10 +37,15 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/errpropagation"
+	"repro/internal/analysis/facts"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/lockedfield"
 	"repro/internal/analysis/mapiterorder"
+	"repro/internal/analysis/nestedlock"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/purity"
 	"repro/internal/analysis/rngsource"
 )
 
@@ -32,6 +54,9 @@ var suite = []*analysis.Analyzer{
 	errpropagation.Analyzer,
 	lockedfield.Analyzer,
 	mapiterorder.Analyzer,
+	nestedlock.Analyzer,
+	noalloc.Analyzer,
+	purity.Analyzer,
 	rngsource.Analyzer,
 }
 
@@ -39,12 +64,24 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// finding is one diagnostic, in the shape -format json emits.
+type finding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Path     []string `json:"path,omitempty"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("priolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	format := fs.String("format", "text", "output format: text or json")
+	debugCG := fs.Bool("debug-callgraph", false, "dump every call-graph edge before analyzing")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: priolint [-only a,b] [packages]")
+		fmt.Fprintln(stderr, "usage: priolint [-only a,b] [-format text|json] [-debug-callgraph] [packages]")
 		fmt.Fprintln(stderr, "analyzers:")
 		for _, a := range suite {
 			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, a.Doc)
@@ -52,6 +89,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "priolint: unknown format %q (want text or json)\n", *format)
 		return 2
 	}
 	analyzers, err := selectAnalyzers(*only)
@@ -64,38 +105,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		patterns = []string{"./..."}
 	}
 
+	// Load returns the packages in stable dependency order; package
+	// passes rely on it for fact propagation, and it makes the whole
+	// run's output independent of pattern order.
 	pkgs, err := load.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "priolint:", err)
 		return 2
 	}
 
-	type finding struct {
-		file      string
-		line, col int
-		analyzer  string
-		message   string
+	var pkgAnalyzers, progAnalyzers []*analysis.Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			progAnalyzers = append(progAnalyzers, a)
+		} else {
+			pkgAnalyzers = append(pkgAnalyzers, a)
+		}
 	}
-	seen := make(map[finding]bool)
+
+	var graph *callgraph.Graph
+	if len(progAnalyzers) > 0 || *debugCG {
+		graph = callgraph.Build(pkgs)
+	}
+	if *debugCG && len(pkgs) > 0 {
+		for _, line := range graph.DebugDump(pkgs[0].Fset) {
+			fmt.Fprintln(stdout, line)
+		}
+	}
+
+	factSet := new(facts.Set)
+	seen := make(map[string]bool)
 	var findings []finding
+
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+		for _, a := range pkgAnalyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
-				Report: func(d analysis.Diagnostic) {
-					pos := pkg.Fset.Position(d.Pos)
-					f := finding{relPath(pos.Filename), pos.Line, pos.Column, a.Name, d.Message}
-					// A package and its test variant share files; keep
-					// one copy of diagnostics from the shared ones.
-					if !seen[f] {
-						seen[f] = true
-						findings = append(findings, f)
-					}
-				},
+				Facts:     factSet,
+				Report:    reporter(pkg.Fset.Position, a.Name, seen, &findings),
 			}
 			if _, err := a.Run(pass); err != nil {
 				fmt.Fprintf(stderr, "priolint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
@@ -103,28 +154,79 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	for _, a := range progAnalyzers {
+		if len(pkgs) == 0 {
+			break
+		}
+		pp := &analysis.ProgramPass{
+			Analyzer: a,
+			Fset:     pkgs[0].Fset,
+			Pkgs:     pkgs,
+			Graph:    graph,
+			Facts:    factSet,
+			Report:   reporter(pkgs[0].Fset.Position, a.Name, seen, &findings),
+		}
+		if err := a.RunProgram(pp); err != nil {
+			fmt.Fprintf(stderr, "priolint: %s: %v\n", a.Name, err)
+			return 2
+		}
+	}
 
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
-		if a.file != b.file {
-			return a.file < b.file
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.line != b.line {
-			return a.line < b.line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		if a.col != b.col {
-			return a.col < b.col
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
-		return a.analyzer < b.analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	for _, f := range findings {
-		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.file, f.line, f.col, f.analyzer, f.message)
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{} // emit [], not null
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "priolint:", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "priolint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// reporter builds a Report callback that records deduplicated findings
+// (a package and its test variant share files; program analyzers may
+// rediscover one site from several roots' shared subgraphs).
+func reporter(position func(token.Pos) token.Position, name string, seen map[string]bool, findings *[]finding) func(analysis.Diagnostic) {
+	return func(d analysis.Diagnostic) {
+		pos := position(d.Pos)
+		f := finding{
+			File: relPath(pos.Filename), Line: pos.Line, Col: pos.Column,
+			Analyzer: name, Message: d.Message, Path: d.Path,
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s:%s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		if !seen[key] {
+			seen[key] = true
+			*findings = append(*findings, f)
+		}
+	}
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -36,6 +38,106 @@ func TestDriverCleanPackage(t *testing.T) {
 	}
 	if stdout.Len() != 0 {
 		t.Errorf("unexpected output:\n%s", stdout.String())
+	}
+}
+
+// TestDriverPureCross: a //prio:pure entry point that is clean in
+// isolation but reaches a clock read one package down must be reported
+// with the whole chain — the facts mechanism crossing a package
+// boundary through the real driver, not just analysistest.
+func TestDriverPureCross(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"./testdata/src/purecross/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	want := "purity: Evaluate is annotated //prio:pure but calls inner.Stamp, which reads the clock (time.Now) at inner.go:"
+	if !strings.Contains(out, want) {
+		t.Errorf("output missing %q:\n%s", want, out)
+	}
+	if strings.Contains(out, "Stamp is annotated") || strings.Contains(out, "Clean is annotated") {
+		t.Errorf("unexpected diagnostics (Stamp is unannotated, Clean is pure):\n%s", out)
+	}
+}
+
+// TestDriverFormatJSON checks the machine-readable output CI archives:
+// every finding carries file/line/col/analyzer/message, and the text
+// and json runs agree on the finding count.
+func TestDriverFormatJSON(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-format", "json", "./testdata/src/bad"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var findings []finding
+	if err := json.Unmarshal([]byte(stdout.String()), &findings); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("json run reported no findings")
+	}
+	analyzers := make(map[string]bool)
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Col == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding with empty field: %+v", f)
+		}
+		analyzers[f.Analyzer] = true
+	}
+	if !analyzers["mapiterorder"] || !analyzers["rngsource"] {
+		t.Errorf("expected mapiterorder and rngsource findings, got %v", analyzers)
+	}
+
+	var text strings.Builder
+	if code := run([]string{"./testdata/src/bad"}, &text, &stderr); code != 1 {
+		t.Fatalf("text run exit code = %d, want 1", code)
+	}
+	if lines := strings.Count(strings.TrimSpace(text.String()), "\n") + 1; lines != len(findings) {
+		t.Errorf("text run has %d findings, json run has %d", lines, len(findings))
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-format", "json", "./testdata/src/noallocclean"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean json run exit code = %d, want 0", code)
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean json run = %q, want []", got)
+	}
+}
+
+// TestDriverDeterministic: two identical runs over packages with
+// findings from several analyzers (including the interprocedural ones)
+// must produce byte-identical output — the property that makes the
+// lint gate diffable in CI.
+func TestDriverDeterministic(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		var first string
+		for i := 0; i < 2; i++ {
+			var stdout, stderr strings.Builder
+			code := run([]string{"-format", format, "./testdata/src/..."}, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("%s run %d: exit code = %d, want 1\nstderr:\n%s", format, i, code, stderr.String())
+			}
+			if i == 0 {
+				first = stdout.String()
+			} else if stdout.String() != first {
+				t.Errorf("%s output differs between identical runs:\n--- first\n%s--- second\n%s", format, first, stdout.String())
+			}
+		}
+	}
+}
+
+// TestDriverInjectMarker pins the sed target of CI's
+// "priolint catches injected allocation" step: if the marker line
+// disappears from the fixture, the CI step would silently inject
+// nothing and the anti-vacuousness guard would stop guarding.
+func TestDriverInjectMarker(t *testing.T) {
+	src, err := os.ReadFile("testdata/src/noallocclean/noallocclean.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "// INJECT: allocation goes here") {
+		t.Error("noallocclean fixture lost its '// INJECT: allocation goes here' marker (ci.yml seds it)")
 	}
 }
 

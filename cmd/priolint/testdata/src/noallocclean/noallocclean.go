@@ -1,0 +1,20 @@
+// Package noallocclean is the anti-vacuousness fixture for the noalloc
+// analyzer: Fill is annotated and genuinely allocation-free, so
+// priolint passes on this package as checked in. CI's
+// "priolint catches injected allocation" step then replaces the
+// INJECT marker below with an allocation and asserts priolint fails —
+// proving the analyzer still has teeth, not just the absence of
+// findings. TestDriverInjectMarker pins the marker so the sed in
+// .github/workflows/ci.yml cannot rot silently.
+package noallocclean
+
+//prio:noalloc
+func Fill(dst []int, v int) int {
+	sum := 0
+	for i := range dst {
+		dst[i] = v
+		// INJECT: allocation goes here
+		sum += dst[i]
+	}
+	return sum
+}

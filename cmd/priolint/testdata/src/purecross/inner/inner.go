@@ -1,0 +1,16 @@
+// Package inner is the dependency half of the purecross driver
+// fixture: an unannotated helper whose impurity must travel to the
+// annotated caller in the parent package via an exported Impure fact,
+// not via a diagnostic here.
+package inner
+
+import "time"
+
+// Stamp is impure but unannotated: no diagnostic is reported for it,
+// only a fact.
+func Stamp(x int) int {
+	return x + time.Now().Nanosecond()
+}
+
+// Double is pure; the caller's use of it must not trip anything.
+func Double(x int) int { return 2 * x }

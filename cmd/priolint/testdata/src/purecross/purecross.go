@@ -1,0 +1,18 @@
+// Package purecross is the driver-level purity fixture: the annotated
+// entry point is clean in isolation, and only analyzing the packages in
+// dependency order with a shared fact store reveals that it reaches a
+// clock read one package down. The driver test asserts the diagnostic
+// names the whole chain.
+package purecross
+
+import "repro/cmd/priolint/testdata/src/purecross/inner"
+
+//prio:pure
+func Evaluate(x int) int {
+	return inner.Stamp(x)
+}
+
+//prio:pure
+func Clean(x int) int {
+	return inner.Double(x)
+}

@@ -5,15 +5,28 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/facts"
+	"repro/internal/analysis/load"
 )
 
 // An Analyzer is one static check. Name appears in diagnostics and in
 // the -only flag of cmd/priolint; Doc is the one-paragraph contract
 // shown by `priolint -help`.
+//
+// An analyzer runs in exactly one of two modes. A package analyzer
+// sets Run and is handed one type-checked package at a time, in
+// dependency order, sharing a fact set with every other pass of the
+// driver run (purity propagates its summaries this way). A program
+// analyzer sets RunProgram instead and is handed every loaded package
+// at once together with the whole-program call graph (noalloc and
+// nestedlock need cross-package reachability, not per-package facts).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) (interface{}, error)
+	Name       string
+	Doc        string
+	Run        func(*Pass) (interface{}, error)
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass hands one type-checked package to an analyzer.
@@ -24,12 +37,38 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	// Facts is the fact store shared across the driver run. The driver
+	// analyzes packages in dependency order, so facts exported while
+	// analyzing a dependency are visible here. Nil when the analyzer
+	// declares no interest (legacy analyzers ignore it).
+	Facts *facts.Set
 }
 
-// A Diagnostic is one finding, anchored to a position.
+// A ProgramPass hands the whole loaded program to a program analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkgs are the loaded packages in dependency order.
+	Pkgs []*load.Package
+	// Graph is the whole-program call graph over Pkgs.
+	Graph  *callgraph.Graph
+	Facts  *facts.Set
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, anchored to a position. Path, when
+// non-empty, is the call chain justifying an interprocedural finding
+// (outermost first); the driver renders it in text output and carries
+// it structurally in -format json.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	Path    []string
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -33,6 +33,8 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/facts"
 	"repro/internal/analysis/load"
 )
 
@@ -70,15 +72,18 @@ func runOne(t *testing.T, a *analysis.Analyzer, dir string) error {
 	}
 	fset := token.NewFileSet()
 	var files []*ast.File
+	var paths []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return err
 		}
 		files = append(files, f)
+		paths = append(paths, path)
 	}
 	if len(files) == 0 {
 		return fmt.Errorf("no Go files in %s", dir)
@@ -95,16 +100,43 @@ func runOne(t *testing.T, a *analysis.Analyzer, dir string) error {
 	}
 
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
-		return fmt.Errorf("analyzer %s: %w", a.Name, err)
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	if a.Run != nil {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    report,
+			Facts:     new(facts.Set),
+		}
+		if _, err := a.Run(pass); err != nil {
+			return fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	} else {
+		// Program analyzer: fabricate a one-package program and build its
+		// call graph, exactly as the driver would for a single package.
+		lp := &load.Package{
+			ImportPath: pkg.Path(),
+			Dir:        dir,
+			GoFiles:    paths,
+			Fset:       fset,
+			Syntax:     files,
+			Types:      pkg,
+			Info:       info,
+		}
+		pp := &analysis.ProgramPass{
+			Analyzer: a,
+			Fset:     fset,
+			Pkgs:     []*load.Package{lp},
+			Graph:    callgraph.Build([]*load.Package{lp}),
+			Facts:    new(facts.Set),
+			Report:   report,
+		}
+		if err := a.RunProgram(pp); err != nil {
+			return fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
 	}
 
 	for _, d := range diags {

@@ -10,6 +10,24 @@
 // load), and each analyzer ships an analysistest-style suite with
 // `// want "regexp"` expectations (see subpackage analysistest).
 //
+// Two interprocedural mechanisms extend the per-package shape:
+//
+//   - Facts (subpackage facts): per-object conclusions shared across
+//     passes. The driver analyzes packages in dependency order with one
+//     fact store, so an Impure fact exported on a helper deep in one
+//     package surfaces, chain attached, at the annotated entry point of
+//     another. The store bridges the two identities an object has —
+//     type-checked from source in its own pass, re-read from gc export
+//     data in its importers' passes.
+//   - The whole-program call graph (subpackage callgraph): an Analyzer
+//     may set RunProgram instead of Run and receive every loaded
+//     package plus a call graph with static edges, conservative
+//     interface edges (a method call through an interface fans out to
+//     every loaded implementation), function-value edges, and function
+//     literals as first-class nodes. Precision therefore depends on
+//     what is loaded: run priolint over ./... for the whole-program
+//     analyzers to prove rather than spot-check.
+//
 // # Why a linter instead of review discipline
 //
 // The advertised contract of the scheduling pipeline is that the
@@ -63,6 +81,41 @@
 // does not come from time.Now, which the analyzer flags in any seeding
 // expression (math/rand, math/rand/v2, or rng.New).
 //
+// Zero allocation (analyzer noalloc). The replication kernel's benchmark
+// headline — zero allocations per steady-state replication — is a
+// whole-call-tree property, so a function annotated
+//
+//	//prio:noalloc
+//	func (r *Runner) Run(p Params, pol Policy, seed uint64) Metrics
+//
+// must not reach an allocation site (make, new, growing append,
+// composite literals, string concatenation, interface boxing, closure
+// capture, go statements) through any path in the program call graph.
+// The steady-state idioms the kernel is built from are exempt by rule:
+// make under a cap/len guard, self-append `x = append(x, ...)`
+// (high-water-mark growth), allocations on cold paths (panic arguments
+// and conditional blocks ending in panic or a non-nil error return),
+// and callees unreachable because a literal nil was passed for the
+// parameter they are invoked through (Runner.Run passes obs = nil, so
+// the Observer fan-out is pruned). Diagnostics carry the offending call
+// path ("replicate → drainBurst → append").
+//
+// Purity (analyzer purity). A function annotated //prio:pure — the
+// Prioritize entry points of core, and the exported surface of
+// decompose, icopt, and matching — must be a mathematical function:
+// no package-level writes, no clock reads, no global rand, no I/O,
+// transitively through every statically resolvable call in any loaded
+// package (facts carry the verdicts across package boundaries). Calls
+// through interfaces and function values are assumed pure and the
+// differential tests remain the backstop for that assumption.
+//
+// Lock nesting (analyzer nestedlock). Every sync.Mutex/RWMutex
+// acquisition is collected into per-function summaries; the analyzer
+// reports re-acquiring a mutex already held on the same path (directly
+// or through a call chain — self-deadlock) and any cycle in the
+// whole-program lock-ordering graph, i.e. two locks acquired in
+// opposite nesting orders on different paths.
+//
 // Error propagation (analyzer errpropagation). A swallowed error in the
 // DAGMan parse or file-rewrite paths corrupts a user's submit files
 // silently. Calls whose final result is an error must not be used as
@@ -77,6 +130,8 @@
 //
 //	go run ./cmd/priolint ./...        # what make check and CI run
 //	go run ./cmd/priolint -only mapiterorder,rngsource ./internal/sim
+//	go run ./cmd/priolint -format json ./...   # machine-readable findings
+//	go run ./cmd/priolint -debug-callgraph ./internal/sim  # dump call edges
 //
 // The suite must stay clean at merge: fix the violation (or restructure
 // so the invariant is evident to the analyzer) rather than suppressing

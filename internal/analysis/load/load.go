@@ -59,6 +59,7 @@ type listPkg struct {
 	ForTest    string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	ImportMap  map[string]string
 	Error      *struct{ Err string }
 }
@@ -89,6 +90,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	imp := newExportImporter(fset, exports)
 	var out []*Package
+	imports := make(map[string][]string) // clean path -> clean direct imports
 	for _, m := range metas {
 		switch {
 		case m.Standard || m.DepOnly:
@@ -107,9 +109,83 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		for _, dep := range m.Imports {
+			imports[pkg.ImportPath] = append(imports[pkg.ImportPath], cleanPath(dep))
+		}
 		out = append(out, pkg)
 	}
+	sortTopological(out, imports)
 	return out, nil
+}
+
+// cleanPath strips a test-variant suffix: "p [p.test]" -> "p".
+func cleanPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// sortTopological orders pkgs so every package comes after the loaded
+// packages it imports, breaking ties lexicographically by import path —
+// a stable order independent of go list's pattern traversal, which the
+// driver relies on to propagate facts in dependency order and to emit
+// byte-identical diagnostics across runs. A dependency cycle (possible
+// only through test variants) leaves the packages involved in
+// lexicographic order rather than failing.
+func sortTopological(pkgs []*Package, imports map[string][]string) {
+	loaded := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		loaded[p.ImportPath] = p
+	}
+	indeg := make(map[string]int, len(pkgs))
+	dependents := make(map[string][]string)
+	for _, p := range pkgs {
+		indeg[p.ImportPath] += 0
+		for _, dep := range imports[p.ImportPath] {
+			if dep == p.ImportPath || loaded[dep] == nil {
+				continue
+			}
+			dependents[dep] = append(dependents[dep], p.ImportPath)
+			indeg[p.ImportPath]++
+		}
+	}
+	var ready []string
+	for _, p := range pkgs {
+		if indeg[p.ImportPath] == 0 {
+			ready = append(ready, p.ImportPath)
+		}
+	}
+	var order []string
+	for len(ready) > 0 {
+		sort.Strings(ready)
+		next := ready[0]
+		ready = ready[1:]
+		order = append(order, next)
+		for _, dep := range dependents[next] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+	}
+	if len(order) < len(pkgs) { // cycle: append the rest deterministically
+		inOrder := make(map[string]bool, len(order))
+		for _, p := range order {
+			inOrder[p] = true
+		}
+		var rest []string
+		for _, p := range pkgs {
+			if !inOrder[p.ImportPath] {
+				rest = append(rest, p.ImportPath)
+			}
+		}
+		sort.Strings(rest)
+		order = append(order, rest...)
+	}
+	for i, path := range order {
+		pkgs[i] = loaded[path]
+	}
 }
 
 // goList runs `go list -export -deps -test -json` and decodes the

@@ -1,0 +1,12 @@
+package nestedlock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nestedlock"
+)
+
+func TestNestedLock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nestedlock.Analyzer, "a", "clean")
+}

@@ -1,0 +1,44 @@
+// Package a exercises the nestedlock analyzer: a lexical
+// double-acquire, an interprocedural one, and a lock-ordering cycle.
+package a
+
+import "sync"
+
+var mu sync.Mutex
+
+var muA, muB sync.Mutex
+
+func doubleLexical() {
+	mu.Lock()
+	mu.Lock() // want `doubleLexical locks mu \(a.go:7\), which is already held on this path \(self-deadlock\)`
+	mu.Unlock()
+	mu.Unlock()
+}
+
+func doubleThroughCall() {
+	mu.Lock()
+	defer mu.Unlock()
+	helper() // want `doubleThroughCall calls helper while holding mu \(a.go:7\), which helper may acquire again \(self-deadlock\)`
+}
+
+func helper() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// lockAB and lockBA acquire the two mutexes in opposite orders; the
+// cycle is reported at the first observed A-before-B nesting.
+
+func lockAB() {
+	muA.Lock()
+	muB.Lock() // want `lock ordering cycle: muA \(a.go:9\) → muB \(a.go:9\) → muA \(a.go:9\)`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func lockBA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}

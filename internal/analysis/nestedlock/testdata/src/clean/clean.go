@@ -1,0 +1,61 @@
+// Package clean holds locking patterns the analyzer must accept: a
+// consistent acquisition order, release-then-reacquire, deferred
+// unlocks, the ...Locked helper convention, and nested read locks.
+package clean
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	state sync.RWMutex
+	items []int // guarded by mu
+	view  []int // guarded by state
+}
+
+var order sync.Mutex // always acquired before any registry lock
+
+func (r *registry) add(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addLocked(v)
+}
+
+// addLocked runs with r.mu held and never reacquires it.
+func (r *registry) addLocked(v int) {
+	r.items = append(r.items, v)
+}
+
+func (r *registry) consistentOrder(v int) {
+	order.Lock()
+	r.mu.Lock()
+	r.items = append(r.items, v)
+	r.mu.Unlock()
+	order.Unlock()
+}
+
+func (r *registry) alsoConsistent() int {
+	order.Lock()
+	defer order.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items)
+}
+
+func (r *registry) releaseThenReacquire(v int) {
+	r.mu.Lock()
+	r.items = append(r.items, v)
+	r.mu.Unlock()
+	r.mu.Lock()
+	r.items = append(r.items, v)
+	r.mu.Unlock()
+}
+
+func (r *registry) nestedRead() int {
+	r.state.RLock()
+	defer r.state.RUnlock()
+	return r.readLocked()
+}
+
+func (r *registry) readLocked() int {
+	return len(r.view)
+}

@@ -1,0 +1,91 @@
+// Package a exercises the noalloc analyzer: every annotated function
+// here reaches an allocation and must be reported, with the diagnostic
+// naming the call path for indirect cases.
+package a
+
+import "fmt"
+
+//prio:noalloc
+func directMake() []int { // want `directMake is annotated //prio:noalloc but can reach a make`
+	return make([]int, 8)
+}
+
+//prio:noalloc
+func directNew() *int { // want `directNew is annotated //prio:noalloc but can reach a new`
+	return new(int)
+}
+
+//prio:noalloc
+func growingAppend(dst, src []int) []int { // want `growingAppend is annotated //prio:noalloc but can reach a growing append`
+	return append(dst, src...)
+}
+
+//prio:noalloc
+func sliceLiteral() []int { // want `sliceLiteral is annotated //prio:noalloc but can reach a slice literal`
+	return []int{1, 2, 3}
+}
+
+//prio:noalloc
+func stringConcat(a, b string) string { // want `stringConcat is annotated //prio:noalloc but can reach a string concatenation`
+	return a + b
+}
+
+//prio:noalloc
+func callsFmt(n int) { // want `callsFmt is annotated //prio:noalloc but can reach value-to-interface boxing` `callsFmt is annotated //prio:noalloc but can reach a call to fmt.Println`
+	fmt.Println(n)
+}
+
+// The multi-hop case the issue names: replicate -> drainBurst -> append.
+
+//prio:noalloc
+func replicate(buf []int, n int) []int { // want `replicate is annotated //prio:noalloc but can reach a growing append at a.go:\d+ \(path: replicate → drainBurst\)`
+	for i := 0; i < n; i++ {
+		buf = drainBurst(buf, i)
+	}
+	return buf
+}
+
+func drainBurst(buf []int, v int) []int {
+	return append(buf, v) // grows the caller's slice, not its own
+}
+
+// Boxing: a concrete value passed to an interface parameter.
+
+type sink interface{ consume(v interface{}) }
+
+type quietSink struct{}
+
+func (quietSink) consume(v interface{}) {}
+
+//prio:noalloc
+func boxes(s sink, v int) { // want `boxes is annotated //prio:noalloc but can reach value-to-interface boxing`
+	s.consume(v)
+}
+
+// An escaping closure: stored in a field, so it allocates.
+
+type holder struct{ f func() }
+
+//prio:noalloc
+func escapes(h *holder, n int) { // want `escapes is annotated //prio:noalloc but can reach an escaping function literal`
+	h.f = func() { _ = n }
+}
+
+//prio:noalloc
+func launches() { // want `launches is annotated //prio:noalloc but can reach a goroutine launch`
+	go func() {}()
+}
+
+// An interface call whose only implementation allocates: the finding is
+// reported through the interface fan-out, naming the implementation.
+
+type policy interface{ next() []int }
+
+type greedy struct{}
+
+func (greedy) next() []int { return make([]int, 1) }
+
+//prio:noalloc
+func dispatches(p policy) { // want `dispatches is annotated //prio:noalloc but can reach a make at a.go:\d+ \(path: dispatches → \(greedy\).next\)`
+	p.next()
+}

@@ -1,0 +1,96 @@
+// Package clean exercises every steady-state exemption of the noalloc
+// analyzer: nothing here may be reported.
+package clean
+
+import "fmt"
+
+// A reusable buffer: the make is capacity-guarded, the append is a
+// self-append, so both express high-water-mark growth.
+
+type buffer struct {
+	data []int
+}
+
+//prio:noalloc
+func (b *buffer) reset(n int) {
+	if cap(b.data) < n {
+		b.data = make([]int, 0, n)
+	}
+	b.data = b.data[:0]
+}
+
+//prio:noalloc
+func (b *buffer) push(v int) {
+	b.data = append(b.data, v)
+}
+
+// Cold paths: allocations inside panic arguments, blocks ending in
+// panic, and blocks ending in a non-nil error return are never taken in
+// steady state. Calls on those paths are not traversed either.
+
+//prio:noalloc
+func guarded(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative count %d", n))
+	}
+	if n > 1<<20 {
+		msg := fmt.Sprintf("count %d too large", n)
+		panic(msg)
+	}
+}
+
+//prio:noalloc
+func validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n)
+	}
+	return nil
+}
+
+// A non-escaping closure: bound once, only ever called, so the
+// compiler keeps it on the stack.
+
+//prio:noalloc
+func localClosure(xs []int) int {
+	total := 0
+	add := func(v int) { total += v }
+	for _, v := range xs {
+		add(v)
+	}
+	return total
+}
+
+// A nil interface argument prunes the callee's dispatches through that
+// parameter: observer.record is allocating, but unreachable when obs is
+// provably nil.
+
+type observer interface{ record(v interface{}) }
+
+//prio:noalloc
+func runQuiet(xs []int) int {
+	return loop(xs, nil)
+}
+
+func loop(xs []int, obs observer) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+		if obs != nil {
+			obs.record(v)
+		}
+	}
+	return total
+}
+
+// Pointer-shaped values do not allocate when converted to an interface.
+
+type reporter interface{ report(p *int) }
+
+//prio:noalloc
+func pointers(r reporter, p *int) {
+	r.report(p)
+}
+
+type quietReporter struct{ last *int }
+
+func (q *quietReporter) report(p *int) { q.last = p }

@@ -1,0 +1,12 @@
+package purity_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/purity"
+)
+
+func TestPurity(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), purity.Analyzer, "a", "clean")
+}

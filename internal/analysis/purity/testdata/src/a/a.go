@@ -1,0 +1,71 @@
+// Package a exercises the purity analyzer: every annotated function
+// reaches an effect, directly or through a chain of local calls.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+)
+
+var counter int
+
+var registry = map[string]int{}
+
+//prio:pure
+func writesGlobal(n int) { // want `writesGlobal is annotated //prio:pure but writes package-level variable counter`
+	counter = n
+}
+
+//prio:pure
+func bumpsGlobal() { // want `bumpsGlobal is annotated //prio:pure but writes package-level variable counter`
+	counter++
+}
+
+//prio:pure
+func storesInGlobalMap(k string, v int) { // want `storesInGlobalMap is annotated //prio:pure but writes package-level variable registry`
+	registry[k] = v
+}
+
+//prio:pure
+func readsClock() int64 { // want `readsClock is annotated //prio:pure but reads the clock`
+	return time.Now().UnixNano()
+}
+
+//prio:pure
+func globalRand() int { // want `globalRand is annotated //prio:pure but draws from the global random source`
+	return rand.Int()
+}
+
+//prio:pure
+func prints(v int) { // want `prints is annotated //prio:pure but performs I/O \(fmt.Println\)`
+	fmt.Println(v)
+}
+
+//prio:pure
+func touchesFS() bool { // want `touchesFS is annotated //prio:pure but performs I/O \(os.Stat\)`
+	_, err := os.Stat("/tmp")
+	return err == nil
+}
+
+// Transitive, with the chain in the message: the annotated entry point
+// is clean itself but calls a helper that calls a helper that reads
+// the clock. Declaration order is deliberately entry-first so the
+// fixpoint has to iterate.
+
+//prio:pure
+func entry() int64 { // want `entry is annotated //prio:pure but calls a.helper, which calls a.deep, which reads the clock`
+	return helper()
+}
+
+func helper() int64 { return deep() }
+
+func deep() int64 { return time.Now().UnixNano() }
+
+// An effect inside a closure counts against the declaring function.
+
+//prio:pure
+func closureWrites() func() { // want `closureWrites is annotated //prio:pure but writes package-level variable counter`
+	return func() { counter++ }
+}

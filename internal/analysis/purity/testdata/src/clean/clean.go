@@ -1,0 +1,66 @@
+// Package clean holds pure functions the analyzer must accept,
+// including the patterns the real scheduler uses: reading globals,
+// receiver mutation, Sprintf/Errorf, local rand sources, and calls
+// through function values.
+package clean
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var sentinel = -1 // read, never written
+
+//prio:pure
+func readsGlobal(n int) bool {
+	return n == sentinel
+}
+
+type scratch struct {
+	buf  []int
+	rank map[int]int
+}
+
+// Receiver mutation is local state, not an effect.
+//
+//prio:pure
+func (s *scratch) fill(n int) {
+	s.buf = append(s.buf, n)
+	s.rank[n] = len(s.buf)
+}
+
+// The Sprint family and Errorf are pure: they format, they do not
+// print.
+//
+//prio:pure
+func describe(n int) (string, error) {
+	if n < 0 {
+		return "", fmt.Errorf("negative: %d", n)
+	}
+	return fmt.Sprintf("ok: %d", n), nil
+}
+
+// A locally seeded source is deterministic; only the global source is
+// banned.
+//
+//prio:pure
+func localRand(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Int()
+}
+
+// Durations are values; only Now/Since/Until read the clock.
+//
+//prio:pure
+func scale(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// Calls through function values are assumed pure (the comparator is
+// checked where it is declared).
+//
+//prio:pure
+func sortWith(xs []int, less func(a, b int) bool) {
+	sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+}

@@ -30,6 +30,8 @@ func NewMinSet(n int) *MinSet {
 
 // Reset empties the set and re-sizes it to [0, n), reusing the backing
 // array when it is large enough.
+//
+//prio:noalloc
 func (s *MinSet) Reset(n int) {
 	w := (n + 63) / 64
 	if cap(s.words) < w {
@@ -47,6 +49,8 @@ func (s *MinSet) Reset(n int) {
 // Add inserts i. Adding an element already present is a no-op for set
 // membership but must not happen when the caller relies on Len (the
 // simulator's ranks are unique, so it never does).
+//
+//prio:noalloc
 func (s *MinSet) Add(i int) {
 	w := i >> 6
 	bit := uint64(1) << uint(i&63)
@@ -61,6 +65,8 @@ func (s *MinSet) Add(i int) {
 
 // PopMin removes and returns the smallest element, or ok=false when the
 // set is empty.
+//
+//prio:noalloc
 func (s *MinSet) PopMin() (int, bool) {
 	for w := s.hint; w < len(s.words); w++ {
 		if word := s.words[w]; word != 0 {
@@ -76,4 +82,6 @@ func (s *MinSet) PopMin() (int, bool) {
 }
 
 // Len returns the number of elements.
+//
+//prio:noalloc
 func (s *MinSet) Len() int { return s.count }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -181,7 +181,11 @@ func profileKey(profile []int) string {
 	var b strings.Builder
 	b.Grow(len(profile) * 3)
 	for _, v := range profile {
-		fmt.Fprintf(&b, "%x,", v)
+		// strconv instead of fmt.Fprintf: same "%x," rendering, no
+		// interface boxing, and purity-clean (the Fprint family is
+		// banned wholesale by the //prio:pure contract).
+		b.WriteString(strconv.FormatInt(int64(v), 16))
+		b.WriteByte(',')
 	}
 	return b.String()
 }

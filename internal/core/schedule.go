@@ -76,9 +76,13 @@ type Schedule struct {
 // options: Divide (shortcut removal + decomposition), Recurse (per-
 // component IC-optimal or outdegree schedules), Combine (greedy
 // max-min-priority consumption of the superdag).
+//
+//prio:pure
 func Prioritize(g *dag.Graph) *Schedule { return PrioritizeOpts(g, Options{}) }
 
 // PrioritizeOpts runs the full heuristic with explicit options.
+//
+//prio:pure
 func PrioritizeOpts(g *dag.Graph, opts Options) *Schedule {
 	dopts := opts.Decompose
 	if opts.Cache != nil && dopts.ReduceCache == nil {

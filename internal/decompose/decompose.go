@@ -69,9 +69,13 @@ type Options struct {
 }
 
 // Decompose runs Steps 1-2 of the heuristic on g with default options.
+//
+//prio:pure
 func Decompose(g *dag.Graph) *Result { return DecomposeOpts(g, Options{}) }
 
 // DecomposeOpts runs Steps 1-2 of the heuristic on g.
+//
+//prio:pure
 func DecomposeOpts(g *dag.Graph, opts Options) *Result {
 	reduced, shortcuts := g.TransitiveReductionCached(opts.ReduceCache)
 	d := &decomposer{

@@ -25,6 +25,8 @@ const MaxNodes = 24
 // eligible jobs over all downward-closed sets of t executed jobs — the
 // IC-optimality envelope E*(t). An error is returned for dags larger
 // than MaxNodes.
+//
+//prio:pure
 func OptimalTrace(g *dag.Graph) ([]int, error) {
 	n := g.NumNodes()
 	if n > MaxNodes {
@@ -71,6 +73,8 @@ func OptimalTrace(g *dag.Graph) ([]int, error) {
 // is the first step at which the order falls short (-1 when optimal).
 // An error is returned when the order is invalid or the dag exceeds
 // MaxNodes.
+//
+//prio:pure
 func IsICOptimal(g *dag.Graph, order []int) (bool, int, error) {
 	if len(order) != g.NumNodes() {
 		return false, -1, fmt.Errorf("icopt: order has %d jobs, dag has %d", len(order), g.NumNodes())
@@ -97,6 +101,8 @@ func IsICOptimal(g *dag.Graph, order []int) (bool, int, error) {
 // by one job. The dag admits an IC-optimal schedule exactly when the
 // set never empties. (Some simple dags admit none — the theory's
 // motivating limitation.)
+//
+//prio:pure
 func AdmitsICOptimalSchedule(g *dag.Graph) (bool, error) {
 	n := g.NumNodes()
 	if n > MaxNodes {

@@ -13,11 +13,15 @@ type Bipartite struct {
 }
 
 // NewBipartite creates an empty bipartite graph.
+//
+//prio:pure
 func NewBipartite(nLeft, nRight int) *Bipartite {
 	return &Bipartite{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
 }
 
 // AddEdge connects left vertex l to right vertex r.
+//
+//prio:pure
 func (b *Bipartite) AddEdge(l, r int) {
 	if l < 0 || l >= b.nLeft || r < 0 || r >= b.nRight {
 		panic("matching: edge endpoint out of range")
@@ -37,6 +41,8 @@ type Result struct {
 
 // MaxMatching computes a maximum matching with the Hopcroft-Karp
 // algorithm in O(E sqrt(V)).
+//
+//prio:pure
 func (b *Bipartite) MaxMatching() Result {
 	matchL := make([]int, b.nLeft)
 	matchR := make([]int, b.nRight)
@@ -105,6 +111,8 @@ func (b *Bipartite) MaxMatching() Result {
 // MinVertexCover returns, via Koenig's theorem, a minimum vertex cover
 // (inLeft, inRight flags) of the bipartite graph, given a maximum
 // matching. |cover| equals the matching size.
+//
+//prio:pure
 func (b *Bipartite) MinVertexCover(m Result) (inLeft, inRight []bool) {
 	// Alternating BFS from unmatched left vertices: visited left
 	// vertices are OUT of the cover, visited right vertices are IN.

@@ -38,6 +38,8 @@ func New(seed uint64) *Source {
 // and reseeds it for each replication, so the hot path never allocates
 // a generator while every replication still sees the stream its
 // pre-derived seed defines.
+//
+//prio:noalloc
 func (r *Source) Reseed(seed uint64) {
 	x := seed
 	for i := range r.s {

@@ -42,9 +42,10 @@ type completion struct {
 // therefore the same final layout) as the textbook swap formulation.
 type eventHeap []completion
 
+//prio:noalloc
 func (h *eventHeap) push(ev completion) {
-	s := append(*h, ev)
-	*h = s
+	*h = append(*h, ev) // self-append: amortized high-water-mark growth
+	s := *h
 	i := len(s) - 1
 	for i > 0 {
 		parent := int(uint(i-1) / 8)
@@ -59,6 +60,8 @@ func (h *eventHeap) push(ev completion) {
 
 // pop removes and returns the minimum event. It must not be called on
 // an empty heap.
+//
+//prio:noalloc
 func (h *eventHeap) pop() completion {
 	s := *h
 	min := s[0]
@@ -126,6 +129,7 @@ type eventQueue struct {
 	scratch []completion // merge target, swapped with buf
 }
 
+//prio:noalloc
 func (q *eventQueue) reset() {
 	q.buf = q.buf[:0]
 	q.head = 0
@@ -133,11 +137,14 @@ func (q *eventQueue) reset() {
 	q.over = q.over[:0]
 }
 
+//prio:noalloc
 func (q *eventQueue) len() int { return len(q.buf) - q.head + len(q.over) }
 
 // appendBurst adds an event without restoring order. The caller must
 // normalize before the next minAt/pop. Used for batch-arrival
 // assignments, which never interleave with pops.
+//
+//prio:noalloc
 func (q *eventQueue) appendBurst(at float64, job int32) {
 	q.buf = append(q.buf, completion{at: at, job: job})
 }
@@ -145,6 +152,8 @@ func (q *eventQueue) appendBurst(at float64, job int32) {
 // pushSorted adds an event while the queue is live (mid-drain rollover
 // assignments). It goes to the overflow heap, keeping the sorted
 // region intact.
+//
+//prio:noalloc
 func (q *eventQueue) pushSorted(at float64, job int32) {
 	q.over.push(completion{at: at, job: job})
 }
@@ -156,6 +165,8 @@ func (q *eventQueue) pushSorted(at float64, job int32) {
 // comparison, which dominated the kernel at wide fan-out. Completion
 // times are i.i.d. continuous draws, so adversarial pivot sequences
 // have probability zero and no pattern defense is needed.
+//
+//prio:noalloc
 func sortCompletions(s []completion) {
 	for len(s) > 24 {
 		// Median of first/middle/last becomes the pivot in s[0]; the
@@ -214,6 +225,8 @@ func sortCompletions(s []completion) {
 // be quadratic across the many small batches of a short-interarrival
 // grid point; with every burst small the queue degrades gracefully
 // into the plain heap it embeds. No-op when nothing was appended.
+//
+//prio:noalloc
 func (q *eventQueue) normalize() {
 	tail := len(q.buf) - q.sorted
 	if tail == 0 {
@@ -261,6 +274,8 @@ func (q *eventQueue) normalize() {
 
 // minAt returns the earliest pending completion time. The queue must
 // be normalized and non-empty.
+//
+//prio:noalloc
 func (q *eventQueue) minAt() float64 {
 	if len(q.over) > 0 && (q.head >= len(q.buf) || q.over[0].at < q.buf[q.head].at) {
 		return q.over[0].at
@@ -270,6 +285,8 @@ func (q *eventQueue) minAt() float64 {
 
 // pop removes and returns the earliest event. The queue must be
 // normalized and non-empty.
+//
+//prio:noalloc
 func (q *eventQueue) pop() (float64, int32) {
 	if len(q.over) > 0 && (q.head >= len(q.buf) || q.over[0].at < q.buf[q.head].at) {
 		ev := q.over.pop()
@@ -298,6 +315,8 @@ type topo struct {
 
 // init (re)builds the layout for g, reusing buffers when possible. The
 // graph must not be mutated while a runState built from it is in use.
+//
+//prio:noalloc
 func (t *topo) init(g *dag.Graph) {
 	if t.g == g {
 		return
@@ -340,6 +359,8 @@ type runState struct {
 }
 
 // reset prepares the state for a replication on g, reusing capacity.
+//
+//prio:noalloc
 func (st *runState) reset(g *dag.Graph, n int) {
 	st.topo.init(g)
 	if cap(st.remaining) < n {
@@ -374,6 +395,8 @@ func NewRunner(g *dag.Graph) *Runner {
 // given replication seed. It is equivalent to
 // sim.Run(g, p, pol, rng.New(seed)) — bit-identical metrics — without
 // the per-replication allocations.
+//
+//prio:noalloc
 func (r *Runner) Run(p Params, pol Policy, seed uint64) Metrics {
 	r.src.Reseed(seed)
 	return r.st.run(r.g, p, pol, r.src, nil)
