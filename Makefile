@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint race cover bench bench-sim bench-sim-smoke fuzz fuzz-smoke sweeps examples clean
+.PHONY: all build test check lint race cover bench bench-sim bench-sim-smoke bench-core bench-core-smoke fuzz fuzz-smoke sweeps examples clean
 
 all: build test
 
@@ -59,6 +59,26 @@ bench-sim:
 # the steady-state zero-alloc property to be enforced on every PR.
 bench-sim-smoke:
 	$(GO) test ./internal/sim -run xxx -bench 'BenchmarkRunKernel/airsn' -benchtime 200x -benchmem | $(GO) run ./cmd/benchjson -assert-zero-allocs 'RunKernel/'
+
+# Frozen-core allocation gate: the end-to-end parse -> Graph ->
+# Prioritize path on the AIRSN/Inspiral/SDSS dags, archived as raw text
+# in results/core-bench.txt and machine-readable BENCH_core.json. The
+# baseline assertion makes this a gate: allocs/op per workload must stay
+# within 10% of the checked-in results/core-bench-baseline.json (the
+# post-refactor profile — at least 2x fewer allocations per schedule
+# than the pre-refactor pipeline recorded in
+# results/core-bench-prerefactor.txt).
+bench-core:
+	mkdir -p results
+	$(GO) test . -run xxx -bench 'BenchmarkParseSchedule' -benchtime 5x -benchmem > results/core-bench.txt
+	cat results/core-bench.txt
+	$(GO) run ./cmd/benchjson -assert-allocs-baseline results/core-bench-baseline.json -o BENCH_core.json results/core-bench.txt
+
+# Short form for CI: one pass per workload still yields exact allocs/op
+# (the schedule pipeline is deterministic), so the regression gate is as
+# strong as the full run and finishes in seconds.
+bench-core-smoke:
+	$(GO) test . -run xxx -bench 'BenchmarkParseSchedule' -benchtime 1x -benchmem | $(GO) run ./cmd/benchjson -assert-allocs-baseline results/core-bench-baseline.json
 
 fuzz:
 	$(GO) test ./internal/dagman -fuzz 'FuzzParse$$' -fuzztime 30s

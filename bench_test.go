@@ -19,10 +19,12 @@
 package repro
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/dagman"
 	"repro/internal/decompose"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -40,13 +42,13 @@ func BenchmarkFig3PrioPipeline(b *testing.B) {
 	}
 }
 
-func quickstartDag() *dag.Graph {
+func quickstartDag() *dag.Frozen {
 	g := dag.New()
 	a, bb, c, d, e := g.AddNode("a"), g.AddNode("b"), g.AddNode("c"), g.AddNode("d"), g.AddNode("e")
 	g.MustAddArc(a, bb)
 	g.MustAddArc(c, d)
 	g.MustAddArc(c, e)
-	return g
+	return g.MustFreeze()
 }
 
 func BenchmarkFig4EligibilityDiff(b *testing.B) {
@@ -260,6 +262,42 @@ func BenchmarkOverhead(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				core.Prioritize(g)
+			}
+		})
+	}
+}
+
+// BenchmarkParseSchedule measures the end-to-end parse→Graph→Prioritize
+// path on the three dags the paper's evaluation grid centers on. It is
+// the frozen-CSR core's allocation gate: make bench-core pipes it
+// through cmd/benchjson, which asserts allocs/op against the checked-in
+// baseline in results/core-bench-baseline.json. The DAGMan text is
+// rendered once outside the timer so the loop measures exactly what
+// the prio tool does per invocation: parse a submit file, freeze the
+// dag, and schedule it.
+func BenchmarkParseSchedule(b *testing.B) {
+	for _, name := range []string{"airsn", "inspiral", "sdss"} {
+		b.Run(name, func(b *testing.B) {
+			g, err := workloads.ByName(name, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			text := dagman.FromGraph(g, nil).String()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := dagman.Parse(strings.NewReader(text))
+				if err != nil {
+					b.Fatal(err)
+				}
+				gg, err := f.Graph()
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := core.Prioritize(gg)
+				if len(s.Order) != gg.NumNodes() {
+					b.Fatal("bad schedule")
+				}
 			}
 		})
 	}

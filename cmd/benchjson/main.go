@@ -17,10 +17,17 @@
 // matches RE reports allocs/op > 0; CI uses it to enforce the
 // replication kernel's zero-alloc steady state on every PR.
 //
+// -assert-allocs-baseline FILE exits nonzero if any benchmark present
+// in the baseline JSON (a previous benchjson output) is missing from
+// the run or reports more than -allocs-tolerance times its baseline
+// allocs/op; make bench-core uses it to pin the parse→schedule
+// allocation profile of the frozen dag core.
+//
 // Usage:
 //
 //	go test ./internal/sim -bench . -benchmem | benchjson [-o out.json]
 //	        [-assert-zero-allocs 'RunKernel/']
+//	        [-assert-allocs-baseline baseline.json [-allocs-tolerance 1.1]]
 package main
 
 import (
@@ -131,10 +138,53 @@ func assertZeroAllocs(rep Report, re *regexp.Regexp) error {
 	return nil
 }
 
+// assertAllocsBaseline compares the report's allocs/op against a
+// checked-in baseline Report (a previous benchjson output): every
+// benchmark present in the baseline must appear in the report and must
+// not allocate more than tolerance times its baseline allocs/op.
+// allocs/op is the one benchmark metric that is deterministic for a
+// fixed workload, so the gate needs no statistical slack beyond the
+// tolerance — ns/op and derived throughputs are reported but never
+// asserted.
+func assertAllocsBaseline(rep Report, baselinePath string, tolerance float64) error {
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		return fmt.Errorf("-assert-allocs-baseline: %w", err)
+	}
+	defer f.Close()
+	var base Report
+	if err := json.NewDecoder(f).Decode(&base); err != nil {
+		return fmt.Errorf("-assert-allocs-baseline: parse %s: %w", baselinePath, err)
+	}
+	current := make(map[string]Benchmark, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		current[b.Name] = b
+	}
+	var bad []string
+	for _, want := range base.Benchmarks {
+		got, ok := current[want.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: in baseline but not in this run", want.Name))
+			continue
+		}
+		limit := want.Metrics["allocs/op"] * tolerance
+		if got.Metrics["allocs/op"] > limit {
+			bad = append(bad, fmt.Sprintf("%s: %g allocs/op, baseline %g (limit %.0f)",
+				want.Name, got.Metrics["allocs/op"], want.Metrics["allocs/op"], limit))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("allocs/op regressed against %s:\n  %s", baselinePath, strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("o", "", "write JSON here instead of stdout")
 	zeroRE := fs.String("assert-zero-allocs", "", "fail if a benchmark matching this regexp reports allocs/op > 0")
+	baseline := fs.String("assert-allocs-baseline", "", "fail if allocs/op regresses against this baseline JSON (a previous benchjson output)")
+	tolerance := fs.Float64("allocs-tolerance", 1.10, "allowed allocs/op growth factor for -assert-allocs-baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -177,7 +227,12 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("-assert-zero-allocs: %w", err)
 		}
-		return assertZeroAllocs(rep, re)
+		if err := assertZeroAllocs(rep, re); err != nil {
+			return err
+		}
+	}
+	if *baseline != "" {
+		return assertAllocsBaseline(rep, *baseline, *tolerance)
 	}
 	return nil
 }

@@ -87,6 +87,38 @@ func TestAssertZeroAllocs(t *testing.T) {
 	}
 }
 
+func TestAssertAllocsBaseline(t *testing.T) {
+	// Build a baseline from the sample itself: same allocs/op passes at
+	// any tolerance >= 1.
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	var out strings.Builder
+	if err := run([]string{"-o", base}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-assert-allocs-baseline", base}, strings.NewReader(sample), &out); err != nil {
+		t.Fatalf("identical run regressed against its own baseline: %v", err)
+	}
+	// A run allocating beyond tolerance fails, naming the benchmark.
+	regressed := strings.ReplaceAll(sample, "290 allocs/op", "9999 allocs/op")
+	if regressed == sample {
+		t.Fatal("sample replace missed")
+	}
+	err := run([]string{"-assert-allocs-baseline", base}, strings.NewReader(regressed), &out)
+	if err == nil || !strings.Contains(err.Error(), "EngineGrid") {
+		t.Fatalf("allocs regression passed the baseline gate: %v", err)
+	}
+	// A benchmark disappearing from the run fails too.
+	missing := strings.ReplaceAll(sample, "BenchmarkEngineGrid", "BenchmarkRenamedGrid")
+	err = run([]string{"-assert-allocs-baseline", base}, strings.NewReader(missing), &out)
+	if err == nil || !strings.Contains(err.Error(), "not in this run") {
+		t.Fatalf("missing benchmark passed the baseline gate: %v", err)
+	}
+	// Bad baseline paths and contents are reported.
+	if err := run([]string{"-assert-allocs-baseline", filepath.Join(t.TempDir(), "nope.json")}, strings.NewReader(sample), &out); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
 func TestRunJSONRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var out strings.Builder

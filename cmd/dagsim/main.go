@@ -90,7 +90,7 @@ func run(args []string, w io.Writer) error {
 // tracer prints one line per event, truncating after max events.
 type tracer struct {
 	w      io.Writer
-	g      *dag.Graph
+	g      *dag.Frozen
 	max    int
 	events int
 	muted  bool

@@ -32,7 +32,7 @@ func main() {
 	for _, v := range []int{v1, v2, v3} {
 		composed.MustAddArc(v, join)
 	}
-	report("W-dag + join", composed)
+	report("W-dag + join", composed.MustFreeze())
 
 	// 2. The crossed dag: no round of the decomposition finds a
 	// bipartite building block, so the theoretical algorithm fails and
@@ -47,7 +47,7 @@ func main() {
 	crossed.MustAddArc(s2, x2)
 	crossed.MustAddArc(x1, y1)
 	crossed.MustAddArc(x2, y2)
-	report("crossed", crossed)
+	report("crossed", crossed.MustFreeze())
 
 	// 3. A dag that admits no IC-optimal schedule at all (found by the
 	// icopt search; see internal/icopt's tests).
@@ -58,7 +58,7 @@ func main() {
 	for _, arc := range [][2]int{{0, 1}, {0, 5}, {1, 5}, {1, 6}, {3, 5}, {3, 6}, {4, 7}} {
 		none.MustAddArc(arc[0], arc[1])
 	}
-	report("no-IC-optimal", none)
+	report("no-IC-optimal", none.MustFreeze())
 
 	// 4. The Fig. 2 families all classify and schedule optimally.
 	fmt.Println("\nFig. 2 building blocks:")
@@ -74,11 +74,11 @@ func main() {
 // a map, which printed in random order).
 func fig2Blocks() []struct {
 	name string
-	g    *dag.Graph
+	g    *dag.Frozen
 } {
 	return []struct {
 		name string
-		g    *dag.Graph
+		g    *dag.Frozen
 	}{
 		{"(2,2)-W", bipartite.NewW(2, 2)},
 		{"(2,5)-M", bipartite.NewM(2, 5)},
@@ -88,7 +88,7 @@ func fig2Blocks() []struct {
 	}
 }
 
-func report(name string, g *dag.Graph) {
+func report(name string, g *dag.Frozen) {
 	fmt.Printf("\n%s (%d jobs, %d deps):\n", name, g.NumNodes(), g.NumArcs())
 
 	if _, err := core.TheoreticalSchedule(g); err != nil {

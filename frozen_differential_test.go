@@ -1,0 +1,119 @@
+package repro
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dagman"
+	"repro/internal/workloads"
+)
+
+// prerefactorGolden is one entry of testdata/prerefactor_schedules.json,
+// generated on the pre-refactor dag.Graph pipeline ([][]int adjacency,
+// per-pass copies) immediately before the frozen-CSR core landed. The
+// hashes pin the externally visible outputs of the parse→schedule→
+// instrument path; the refactor was a representation change, so every
+// one of them must reproduce bit-for-bit on the Frozen pipeline.
+type prerefactorGolden struct {
+	Arcs         int    `json:"arcs"`
+	OrderHash    string `json:"order_sha256"`
+	PrioHash     string `json:"priorities_sha256"`
+	InstrHash    string `json:"instrumented_sha256"`
+	FIFOHash     string `json:"fifo_sha256"`
+	TheoreticalE string `json:"theoretical"`
+}
+
+// paperDagSizes pins the node counts of the paper-scale dags directly
+// (the golden file records only arc counts).
+var paperDagSizes = map[string]int{
+	"airsn":    773,
+	"inspiral": 2988,
+	"montage":  7881,
+	"sdss":     48013,
+}
+
+// TestFrozenSchedulesMatchPreRefactor is the differential gate for the
+// frozen-CSR refactor: on every paper dag, the prio order, the priority
+// assignment, the instrumented DAGMan file, the FIFO baseline schedule,
+// and the theoretical algorithm's outcome must be byte-identical to the
+// pre-refactor pipeline's, as recorded in
+// testdata/prerefactor_schedules.json.
+func TestFrozenSchedulesMatchPreRefactor(t *testing.T) {
+	raw, err := os.ReadFile("testdata/prerefactor_schedules.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldens := make(map[string]prerefactorGolden)
+	if err := json.Unmarshal(raw, &goldens); err != nil {
+		t.Fatal(err)
+	}
+	h := func(s string) string {
+		sum := sha256.Sum256([]byte(s))
+		return hex.EncodeToString(sum[:])
+	}
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			want, ok := goldens[name]
+			if !ok {
+				t.Fatalf("no pre-refactor golden for %s", name)
+			}
+			g, err := workloads.ByName(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumNodes() != paperDagSizes[name] {
+				t.Errorf("nodes = %d, want %d", g.NumNodes(), paperDagSizes[name])
+			}
+			if g.NumArcs() != want.Arcs {
+				t.Errorf("arcs = %d, want %d", g.NumArcs(), want.Arcs)
+			}
+
+			s := core.Prioritize(g)
+			var ord, pri strings.Builder
+			for _, v := range s.Order {
+				ord.WriteString(g.Name(v))
+				ord.WriteByte('\n')
+			}
+			prios := make(map[string]int, g.NumNodes())
+			for v := 0; v < g.NumNodes(); v++ {
+				fmt.Fprintf(&pri, "%s=%d\n", g.Name(v), s.Priority[v])
+				prios[g.Name(v)] = s.Priority[v]
+			}
+			if got := h(ord.String()); got != want.OrderHash {
+				t.Errorf("prio order diverged from pre-refactor pipeline: %s", got)
+			}
+			if got := h(pri.String()); got != want.PrioHash {
+				t.Errorf("priority assignment diverged from pre-refactor pipeline: %s", got)
+			}
+
+			instr := dagman.FromGraph(g, nil).Instrument(prios)
+			if got := h(instr); got != want.InstrHash {
+				t.Errorf("instrumented DAGMan file diverged from pre-refactor pipeline: %s", got)
+			}
+
+			var fifo strings.Builder
+			for _, v := range core.FIFOSchedule(g) {
+				fifo.WriteString(g.Name(v))
+				fifo.WriteByte('\n')
+			}
+			if got := h(fifo.String()); got != want.FIFOHash {
+				t.Errorf("FIFO schedule diverged from pre-refactor pipeline: %s", got)
+			}
+
+			theo := "ok"
+			if _, err := core.TheoreticalSchedule(g); err != nil {
+				theo = err.Error()
+			}
+			if theo != want.TheoreticalE {
+				t.Errorf("theoretical outcome = %q, want %q", theo, want.TheoreticalE)
+			}
+		})
+	}
+}

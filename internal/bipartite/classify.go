@@ -24,7 +24,7 @@ type Classification struct {
 // be a connected bipartite dag; ok is false when g is not, or when it
 // belongs to no recognized family (Step 3 then falls back to the
 // outdegree heuristic).
-func Classify(g *dag.Graph) (Classification, bool) {
+func Classify(g *dag.Frozen) (Classification, bool) {
 	if !g.IsBipartiteDag() {
 		return Classification{}, false
 	}
@@ -38,7 +38,7 @@ func Classify(g *dag.Graph) (Classification, bool) {
 	// Complete bipartite dag. This also catches the degenerate stars
 	// K(1,t) and K(t,1), which Fig. 2 labels (1,t)-W and (1,t)-M.
 	if g.NumArcs() == nU*nV {
-		c := Classification{Family: CliqueDag, S: nU, T: nV, SourceOrder: append([]int(nil), sources...)}
+		c := Classification{Family: CliqueDag, S: nU, T: nV, SourceOrder: toInts(sources)}
 		if nU == 1 {
 			c.Family, c.S, c.T = WDag, 1, nV
 		} else if nV == 1 {
@@ -66,17 +66,17 @@ func Classify(g *dag.Graph) (Classification, bool) {
 // clique case): every source has exactly t children, every sink has one
 // or two parents, the two-parent sinks link consecutive sources into a
 // simple path, and there are s(t-1)+1 sinks in total.
-func classifyW(g *dag.Graph, sources, sinks []int) (Classification, bool) {
+func classifyW(g *dag.Frozen, sources, sinks []int32) (Classification, bool) {
 	s := len(sources)
 	if s < 2 {
 		return Classification{}, false
 	}
-	t := g.OutDegree(sources[0])
+	t := g.OutDegree(int(sources[0]))
 	if t < 2 {
 		return Classification{}, false
 	}
 	for _, u := range sources {
-		if g.OutDegree(u) != t {
+		if g.OutDegree(int(u)) != t {
 			return Classification{}, false
 		}
 	}
@@ -87,12 +87,12 @@ func classifyW(g *dag.Graph, sources, sinks []int) (Classification, bool) {
 	links := make(map[int][]int, s) // source -> neighbouring sources
 	shared := 0
 	for _, v := range sinks {
-		switch g.InDegree(v) {
+		switch g.InDegree(int(v)) {
 		case 1:
 		case 2:
-			p := g.Parents(v)
-			links[p[0]] = append(links[p[0]], p[1])
-			links[p[1]] = append(links[p[1]], p[0])
+			p := g.Parents(int(v))
+			links[int(p[0])] = append(links[int(p[0])], int(p[1]))
+			links[int(p[1])] = append(links[int(p[1])], int(p[0]))
 			shared++
 		default:
 			return Classification{}, false
@@ -112,7 +112,7 @@ func classifyW(g *dag.Graph, sources, sinks []int) (Classification, bool) {
 // W-dag and replaying its sink order as a grouped source order: for each
 // sink along the path, execute its not-yet-executed parents, so sinks
 // become eligible one by one — the M-dag's IC-optimal schedule.
-func classifyM(g *dag.Graph, sources, sinks []int) (Classification, bool) {
+func classifyM(g *dag.Frozen, sources, sinks []int32) (Classification, bool) {
 	rev := g.Reverse()
 	// In rev, sources and sinks swap roles.
 	c, ok := classifyW(rev, sinks, sources)
@@ -122,7 +122,7 @@ func classifyM(g *dag.Graph, sources, sinks []int) (Classification, bool) {
 	order := make([]int, 0, len(sources))
 	done := make(map[int]bool, len(sources))
 	for _, v := range c.SourceOrder { // sinks of g in path order
-		ps := append([]int(nil), g.Parents(v)...)
+		ps := toInts(g.Parents(v))
 		sort.Ints(ps)
 		for _, u := range ps {
 			if !done[u] {
@@ -139,7 +139,7 @@ func classifyM(g *dag.Graph, sources, sinks []int) (Classification, bool) {
 // degrees 2, forming one alternating path. The IC-optimal order starts at
 // the source whose child has in-degree 1 and walks the path, rendering
 // one new sink eligible per executed source.
-func classifyN(g *dag.Graph, sources, sinks []int) (Classification, bool) {
+func classifyN(g *dag.Frozen, sources, sinks []int32) (Classification, bool) {
 	n := len(sources)
 	if n < 2 || len(sinks) != n {
 		return Classification{}, false
@@ -149,7 +149,7 @@ func classifyN(g *dag.Graph, sources, sinks []int) (Classification, bool) {
 	}
 	deg1Sinks := 0
 	for _, v := range sinks {
-		switch g.InDegree(v) {
+		switch g.InDegree(int(v)) {
 		case 1:
 			deg1Sinks++
 		case 2:
@@ -160,7 +160,7 @@ func classifyN(g *dag.Graph, sources, sinks []int) (Classification, bool) {
 	deg1Sources := 0
 	var start int
 	for _, u := range sources {
-		switch g.OutDegree(u) {
+		switch g.OutDegree(int(u)) {
 		case 1:
 			deg1Sources++
 		case 2:
@@ -176,8 +176,8 @@ func classifyN(g *dag.Graph, sources, sinks []int) (Classification, bool) {
 	// sink's parent must start the path).
 	start = -1
 	for _, v := range sinks {
-		if g.InDegree(v) == 1 {
-			start = g.Parents(v)[0]
+		if g.InDegree(int(v)) == 1 {
+			start = int(g.Parents(int(v))[0])
 		}
 	}
 	if start == -1 {
@@ -198,7 +198,8 @@ func classifyN(g *dag.Graph, sources, sinks []int) (Classification, bool) {
 		// forward sink: child not yet seen with in-degree 2; terminal
 		// sources (out-degree 1) end the walk after consuming their child.
 		next := -1
-		for _, v := range g.Children(u) {
+		for _, vv := range g.Children(u) {
+			v := int(vv)
 			if !seenSink[v] {
 				if next != -1 {
 					// Two unseen children: pick the shared one (indeg 2)
@@ -225,10 +226,10 @@ func classifyN(g *dag.Graph, sources, sinks []int) (Classification, bool) {
 		}
 		// move to the other parent of the shared sink
 		p := g.Parents(next)
-		if p[0] == u {
-			u = p[1]
+		if int(p[0]) == u {
+			u = int(p[1])
 		} else {
-			u = p[0]
+			u = int(p[0])
 		}
 	}
 	if len(order) != n {
@@ -241,34 +242,34 @@ func classifyN(g *dag.Graph, sources, sinks []int) (Classification, bool) {
 // 2 and the shared-sink links close the sources into a single cycle. Any
 // rotation/direction of the cycle is IC-optimal; we start at the smallest
 // source index for determinism.
-func classifyCycle(g *dag.Graph, sources, sinks []int) (Classification, bool) {
+func classifyCycle(g *dag.Frozen, sources, sinks []int32) (Classification, bool) {
 	n := len(sources)
 	if n < 3 || len(sinks) != n || g.NumArcs() != 2*n {
 		return Classification{}, false
 	}
 	for _, u := range sources {
-		if g.OutDegree(u) != 2 {
+		if g.OutDegree(int(u)) != 2 {
 			return Classification{}, false
 		}
 	}
 	links := make(map[int][]int, n)
 	for _, v := range sinks {
-		if g.InDegree(v) != 2 {
+		if g.InDegree(int(v)) != 2 {
 			return Classification{}, false
 		}
-		p := g.Parents(v)
+		p := g.Parents(int(v))
 		if p[0] == p[1] {
 			return Classification{}, false
 		}
-		links[p[0]] = append(links[p[0]], p[1])
-		links[p[1]] = append(links[p[1]], p[0])
+		links[int(p[0])] = append(links[int(p[0])], int(p[1]))
+		links[int(p[1])] = append(links[int(p[1])], int(p[0]))
 	}
 	for _, u := range sources {
-		if len(links[u]) != 2 {
+		if len(links[int(u)]) != 2 {
 			return Classification{}, false
 		}
 	}
-	start := sources[0]
+	start := int(sources[0])
 	order := make([]int, 0, n)
 	seen := make(map[int]bool, n)
 	u, prev := start, -1
@@ -297,12 +298,12 @@ func classifyCycle(g *dag.Graph, sources, sinks []int) (Classification, bool) {
 // walkPath orders nodes along the simple path defined by links (adjacency
 // between sources via shared sinks); ok is false when the link structure
 // is not a single simple path over all nodes.
-func walkPath(nodes []int, links map[int][]int) ([]int, bool) {
+func walkPath(nodes []int32, links map[int][]int) ([]int, bool) {
 	var ends []int
 	for _, u := range nodes {
-		switch len(links[u]) {
+		switch len(links[int(u)]) {
 		case 1:
-			ends = append(ends, u)
+			ends = append(ends, int(u))
 		case 2:
 		default:
 			return nil, false
@@ -340,4 +341,13 @@ func walkPath(nodes []int, links map[int][]int) ([]int, bool) {
 		return nil, false
 	}
 	return order, true
+}
+
+// toInts copies an int32 node list into a fresh []int.
+func toInts(xs []int32) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
 }

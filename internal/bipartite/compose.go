@@ -19,9 +19,9 @@ import (
 // pairwise (sinks and sources taken in index order). Node names are
 // made unique with a per-block prefix; an identified node keeps the
 // earlier block's name.
-func Compose(blocks []*dag.Graph) (*dag.Graph, error) {
+func Compose(blocks []*dag.Frozen) (*dag.Frozen, error) {
 	if len(blocks) == 0 {
-		return dag.New(), nil
+		return dag.New().MustFreeze(), nil
 	}
 	out := dag.New()
 	// copy the first block
@@ -64,15 +64,16 @@ func Compose(blocks []*dag.Graph) (*dag.Graph, error) {
 			}
 		}
 	}
-	if err := out.Validate(); err != nil {
+	f, err := out.Freeze()
+	if err != nil {
 		return nil, fmt.Errorf("bipartite: composition produced an invalid dag: %w", err)
 	}
-	return out, nil
+	return f, nil
 }
 
 // RandomBlock draws a random Fig. 2 building block with small
 // parameters, for composition-based test generation.
-func RandomBlock(r *rng.Source) *dag.Graph {
+func RandomBlock(r *rng.Source) *dag.Frozen {
 	switch r.Intn(5) {
 	case 0:
 		return NewW(1+r.Intn(3), 2+r.Intn(3))
@@ -88,8 +89,8 @@ func RandomBlock(r *rng.Source) *dag.Graph {
 }
 
 // RandomComposite builds a random composite dag from n random blocks.
-func RandomComposite(r *rng.Source, n int) (*dag.Graph, error) {
-	blocks := make([]*dag.Graph, n)
+func RandomComposite(r *rng.Source, n int) (*dag.Frozen, error) {
+	blocks := make([]*dag.Frozen, n)
 	for i := range blocks {
 		blocks[i] = RandomBlock(r)
 	}

@@ -53,7 +53,7 @@ func (f Family) String() string {
 
 // NewW builds the (s,t)-W-dag. s >= 1, t >= 2 (t >= 1 when s == 1).
 // Source i is named "u<i>", sink j "v<j>".
-func NewW(s, t int) *dag.Graph {
+func NewW(s, t int) *dag.Frozen {
 	if s < 1 || t < 1 || (s > 1 && t < 2) {
 		panic(fmt.Sprintf("bipartite: invalid W parameters (%d,%d)", s, t))
 	}
@@ -74,12 +74,12 @@ func NewW(s, t int) *dag.Graph {
 			g.MustAddArc(src[i], sink[i*(t-1)+k])
 		}
 	}
-	return g
+	return g.MustFreeze()
 }
 
 // NewM builds the (s,t)-M-dag (arc-reversal of the (s,t)-W-dag): s
 // sinks, each with t parents, consecutive sinks sharing one parent.
-func NewM(s, t int) *dag.Graph {
+func NewM(s, t int) *dag.Frozen {
 	if s < 1 || t < 1 || (s > 1 && t < 2) {
 		panic(fmt.Sprintf("bipartite: invalid M parameters (%d,%d)", s, t))
 	}
@@ -98,12 +98,12 @@ func NewM(s, t int) *dag.Graph {
 			g.MustAddArc(src[j*(t-1)+k], sink[j])
 		}
 	}
-	return g
+	return g.MustFreeze()
 }
 
 // NewN builds the n-N-dag (n >= 1): arcs ui -> vi for i in [0,n) and
 // ui -> v(i+1) for i in [0,n-1).
-func NewN(n int) *dag.Graph {
+func NewN(n int) *dag.Frozen {
 	if n < 1 {
 		panic(fmt.Sprintf("bipartite: invalid N order %d", n))
 	}
@@ -122,12 +122,12 @@ func NewN(n int) *dag.Graph {
 			g.MustAddArc(src[i], sink[i+1])
 		}
 	}
-	return g
+	return g.MustFreeze()
 }
 
 // NewCycle builds the n-Cycle-dag (n >= 2): arcs ui -> vi and
 // ui -> v(i+1 mod n). Note the 2-Cycle coincides with the 2-Clique.
-func NewCycle(n int) *dag.Graph {
+func NewCycle(n int) *dag.Frozen {
 	if n < 2 {
 		panic(fmt.Sprintf("bipartite: invalid Cycle order %d", n))
 	}
@@ -144,11 +144,11 @@ func NewCycle(n int) *dag.Graph {
 		g.MustAddArc(src[i], sink[i])
 		g.MustAddArc(src[i], sink[(i+1)%n])
 	}
-	return g
+	return g.MustFreeze()
 }
 
 // NewClique builds the complete bipartite dag with a sources and b sinks.
-func NewClique(a, b int) *dag.Graph {
+func NewClique(a, b int) *dag.Frozen {
 	if a < 1 || b < 1 {
 		panic(fmt.Sprintf("bipartite: invalid Clique parameters (%d,%d)", a, b))
 	}
@@ -163,5 +163,5 @@ func NewClique(a, b int) *dag.Graph {
 			g.MustAddArc(src[i], v)
 		}
 	}
-	return g
+	return g.MustFreeze()
 }

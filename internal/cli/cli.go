@@ -20,7 +20,7 @@ import (
 // reduction, expansion, butterfly, pyramid) builds the corresponding
 // theory dag; anything else is treated as a DAGMan input file path.
 // The second result is a short label for reports.
-func LoadDag(spec string, scale int) (*dag.Graph, string, error) {
+func LoadDag(spec string, scale int) (*dag.Frozen, string, error) {
 	for _, name := range workloads.Names() {
 		if spec == name {
 			g, err := workloads.ByName(name, scale)

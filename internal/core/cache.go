@@ -80,7 +80,7 @@ func (c *Cache) Stats() CacheStats {
 func (c *Cache) ReduceCache() *dag.ReduceCache { return c.reduce }
 
 // lookup returns the cached schedule template for a component subgraph.
-func (c *Cache) lookup(sub *dag.Graph) (*cacheEntry, bool) {
+func (c *Cache) lookup(sub *dag.Frozen) (*cacheEntry, bool) {
 	key := componentSignature(sub)
 	c.mu.RLock()
 	e, ok := c.entries[key]
@@ -96,7 +96,7 @@ func (c *Cache) lookup(sub *dag.Graph) (*cacheEntry, bool) {
 // store records a freshly computed component schedule. Concurrent
 // workers may race to store the same shape; the entries are identical
 // by construction (the signature is exact), so last-write-wins is fine.
-func (c *Cache) store(sub *dag.Graph, cs *ComponentSchedule) {
+func (c *Cache) store(sub *dag.Frozen, cs *ComponentSchedule) {
 	key := componentSignature(sub)
 	c.mu.Lock()
 	c.entries[key] = &cacheEntry{family: cs.Family, order: cs.Order, profile: cs.Profile}
@@ -108,7 +108,7 @@ func (c *Cache) store(sub *dag.Graph, cs *ComponentSchedule) {
 // indices. Node names are deliberately excluded — neither Classify nor
 // the outdegree order reads them — so equally shaped components from
 // different parts of the dag (or different dags) share an entry.
-func componentSignature(sub *dag.Graph) string {
+func componentSignature(sub *dag.Frozen) string {
 	var b strings.Builder
 	n := sub.NumNodes()
 	b.Grow(8 + 4*sub.NumArcs())
@@ -119,7 +119,7 @@ func componentSignature(sub *dag.Graph) string {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			b.WriteString(strconv.Itoa(c))
+			b.WriteString(strconv.Itoa(int(c)))
 		}
 	}
 	return b.String()

@@ -22,7 +22,7 @@ func TestComponentSignatureExact(t *testing.T) {
 	g2.MustAddArc(a2, d2)
 	g2.MustAddArc(b2, c2)
 
-	if componentSignature(g1) == componentSignature(g2) {
+	if componentSignature(g1.MustFreeze()) == componentSignature(g2.MustFreeze()) {
 		t.Fatal("different wirings share a signature")
 	}
 
@@ -30,7 +30,7 @@ func TestComponentSignatureExact(t *testing.T) {
 	x, y, z, w := g3.AddNode("p"), g3.AddNode("q"), g3.AddNode("r"), g3.AddNode("s")
 	g3.MustAddArc(x, z)
 	g3.MustAddArc(y, w)
-	if componentSignature(g1) != componentSignature(g3) {
+	if componentSignature(g1.MustFreeze()) != componentSignature(g3.MustFreeze()) {
 		t.Fatal("renaming changed the signature")
 	}
 
@@ -47,7 +47,7 @@ func TestComponentSignatureExact(t *testing.T) {
 	}
 	g5.MustAddArc(0, 1)
 	g5.MustAddArc(0, 2)
-	if componentSignature(g4) == componentSignature(g5) {
+	if componentSignature(g4.MustFreeze()) == componentSignature(g5.MustFreeze()) {
 		t.Fatal("signature is delimiter-ambiguous")
 	}
 }
@@ -81,11 +81,12 @@ func TestCacheStats(t *testing.T) {
 // the reduced graph object.
 func TestCacheSharesReduction(t *testing.T) {
 	c := NewCache()
-	g := dag.New()
-	a, b, d := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
-	g.MustAddArc(a, b)
-	g.MustAddArc(b, d)
-	g.MustAddArc(a, d) // shortcut
+	gb := dag.New()
+	a, b, d := gb.AddNode("a"), gb.AddNode("b"), gb.AddNode("c")
+	gb.MustAddArc(a, b)
+	gb.MustAddArc(b, d)
+	gb.MustAddArc(a, d) // shortcut
+	g := gb.MustFreeze()
 	s1 := PrioritizeOpts(g, Options{Cache: c})
 	s2 := PrioritizeOpts(g, Options{Cache: c})
 	if s1.Decomposition.Reduced != s2.Decomposition.Reduced {

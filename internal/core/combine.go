@@ -31,7 +31,7 @@ const (
 // a component Ci maximizing pi = min over the other current sources Cj
 // of (priority of Ci over Cj). Ties break toward the smallest component
 // index. pids maps each component to its interned eligibility profile.
-func combineOrder(super *dag.Graph, pids []int, pt *profileTable, strategy CombineStrategy) []int {
+func combineOrder(super *dag.Frozen, pids []int, pt *profileTable, strategy CombineStrategy) []int {
 	switch strategy {
 	case CombineNaive:
 		return combineNaive(super, pids, pt)
@@ -40,7 +40,7 @@ func combineOrder(super *dag.Graph, pids []int, pt *profileTable, strategy Combi
 	}
 }
 
-func combineNaive(super *dag.Graph, pids []int, pt *profileTable) []int {
+func combineNaive(super *dag.Frozen, pids []int, pt *profileTable) []int {
 	n := super.NumNodes()
 	indeg := make([]int, n)
 	var sources []int
@@ -74,10 +74,10 @@ func combineNaive(super *dag.Graph, pids []int, pt *profileTable) []int {
 		for _, c := range super.Children(best) {
 			indeg[c]--
 			if indeg[c] == 0 {
-				k := sort.SearchInts(sources, c)
+				k := sort.SearchInts(sources, int(c))
 				sources = append(sources, 0)
 				copy(sources[k+1:], sources[k:len(sources)-1])
-				sources[k] = c
+				sources[k] = int(c)
 			}
 		}
 	}
@@ -112,7 +112,7 @@ type profileGroup struct {
 	key   groupKey
 }
 
-func combineBTree(super *dag.Graph, pids []int, pt *profileTable) []int {
+func combineBTree(super *dag.Frozen, pids []int, pt *profileTable) []int {
 	n := super.NumNodes()
 	indeg := make([]int, n)
 	// Profile ids are small dense integers, so the live groups are a
@@ -202,7 +202,8 @@ func combineBTree(super *dag.Graph, pids []int, pt *profileTable) []int {
 			}
 			refreshKey(g, true)
 		}
-		for _, c := range super.Children(comp) {
+		for _, c32 := range super.Children(comp) {
+			c := int(c32)
 			indeg[c]--
 			if indeg[c] != 0 {
 				continue

@@ -12,7 +12,7 @@ import (
 	"repro/internal/rng"
 )
 
-func build(t testing.TB, nodes []string, arcs ...string) *dag.Graph {
+func build(t testing.TB, nodes []string, arcs ...string) *dag.Frozen {
 	t.Helper()
 	g := dag.New()
 	for _, n := range nodes {
@@ -22,10 +22,10 @@ func build(t testing.TB, nodes []string, arcs ...string) *dag.Graph {
 		parts := strings.Split(a, ">")
 		g.MustAddArc(g.IndexOf(parts[0]), g.IndexOf(parts[1]))
 	}
-	return g
+	return g.MustFreeze()
 }
 
-func orderNames(g *dag.Graph, order []int) []string {
+func orderNames(g *dag.Frozen, order []int) []string {
 	out := make([]string, len(order))
 	for i, v := range order {
 		out[i] = g.Name(v)
@@ -35,7 +35,7 @@ func orderNames(g *dag.Graph, order []int) []string {
 
 // optimalTrace is the exhaustive IC-optimality envelope (see
 // internal/icopt for the implementation).
-func optimalTrace(g *dag.Graph) []int {
+func optimalTrace(g *dag.Frozen) []int {
 	env, err := icopt.OptimalTrace(g)
 	if err != nil {
 		panic(err)
@@ -172,7 +172,7 @@ func TestPrioritizeFig3(t *testing.T) {
 }
 
 func TestPrioritizeICOptimalOnBlocks(t *testing.T) {
-	cases := map[string]*dag.Graph{
+	cases := map[string]*dag.Frozen{
 		"W(2,3)":   bipartite.NewW(2, 3),
 		"M(2,3)":   bipartite.NewM(2, 3),
 		"N(4)":     bipartite.NewN(4),
@@ -205,12 +205,12 @@ func TestPrioritizeICOptimalOnBlocks(t *testing.T) {
 }
 
 func TestPrioritizeEmptyAndSingle(t *testing.T) {
-	if s := Prioritize(dag.New()); len(s.Order) != 0 {
+	if s := Prioritize(dag.New().MustFreeze()); len(s.Order) != 0 {
 		t.Fatal("empty dag should give empty schedule")
 	}
-	g := dag.New()
-	g.AddNode("only")
-	s := Prioritize(g)
+	b := dag.New()
+	b.AddNode("only")
+	s := Prioritize(b.MustFreeze())
 	if len(s.Order) != 1 || s.Priority[0] != 1 {
 		t.Fatalf("singleton schedule = %+v", s)
 	}
@@ -256,7 +256,7 @@ func TestNaiveAndBTreeCombineAgree(t *testing.T) {
 
 func TestPrioritizeNeverWorseThanFIFOOnBlocks(t *testing.T) {
 	// On recognized building blocks PRIO's trace dominates FIFO's.
-	for name, g := range map[string]*dag.Graph{
+	for name, g := range map[string]*dag.Frozen{
 		"W(3,3)":   bipartite.NewW(3, 3),
 		"M(3,3)":   bipartite.NewM(3, 3),
 		"Cycle(5)": bipartite.NewCycle(5),
@@ -290,18 +290,18 @@ func TestTraceDifferenceErrors(t *testing.T) {
 func TestComponentFamiliesRecognized(t *testing.T) {
 	// A W-dag followed by a join: the first component should classify
 	// as W, the second as M.
-	g := dag.New()
-	s1, s2 := g.AddNode("s1"), g.AddNode("s2")
-	v1, v2, v3 := g.AddNode("v1"), g.AddNode("v2"), g.AddNode("v3")
-	j := g.AddNode("j")
-	g.MustAddArc(s1, v1)
-	g.MustAddArc(s1, v2)
-	g.MustAddArc(s2, v2)
-	g.MustAddArc(s2, v3)
-	g.MustAddArc(v1, j)
-	g.MustAddArc(v2, j)
-	g.MustAddArc(v3, j)
-	s := Prioritize(g)
+	b := dag.New()
+	s1, s2 := b.AddNode("s1"), b.AddNode("s2")
+	v1, v2, v3 := b.AddNode("v1"), b.AddNode("v2"), b.AddNode("v3")
+	j := b.AddNode("j")
+	b.MustAddArc(s1, v1)
+	b.MustAddArc(s1, v2)
+	b.MustAddArc(s2, v2)
+	b.MustAddArc(s2, v3)
+	b.MustAddArc(v1, j)
+	b.MustAddArc(v2, j)
+	b.MustAddArc(v3, j)
+	s := Prioritize(b.MustFreeze())
 	if len(s.Components) != 2 {
 		t.Fatalf("components = %d", len(s.Components))
 	}
@@ -356,7 +356,7 @@ func TestProfileInterning(t *testing.T) {
 	}
 }
 
-func randomDag(r *rng.Source, n int, p float64) *dag.Graph {
+func randomDag(r *rng.Source, n int, p float64) *dag.Frozen {
 	g := dag.New()
 	for i := 0; i < n; i++ {
 		g.AddNode(fmt.Sprintf("n%d", i))
@@ -368,7 +368,7 @@ func randomDag(r *rng.Source, n int, p float64) *dag.Graph {
 			}
 		}
 	}
-	return g
+	return g.MustFreeze()
 }
 
 func BenchmarkPrioritizeRandom(b *testing.B) {

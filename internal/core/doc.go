@@ -4,7 +4,8 @@
 //
 // # Pipeline
 //
-// Prioritize / PrioritizeOpts run the three phases over a dag.Graph:
+// Prioritize / PrioritizeOpts run the three phases over a dag.Frozen
+// (the immutable CSR core every layer shares; see package dag):
 //
 //   - Divide (delegated to package decompose): remove shortcut arcs,
 //     peel the dag into components, build the superdag.
@@ -54,7 +55,6 @@
 // internal. Not safe for concurrent use: profileTable (confined to one
 // pipeline invocation; the parallel matrix fill partitions it by row)
 // and a returned *Schedule, which is plain data — share it read-only.
-// A *dag.Graph passed to this package must not be mutated while a
-// pipeline runs on it (the usual build-then-analyze discipline of
-// package dag).
+// A *dag.Frozen passed to this package is immutable by construction,
+// so the pipeline never copies or locks the graph it analyzes.
 package core

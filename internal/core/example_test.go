@@ -11,12 +11,13 @@ import (
 // The Fig. 3 dag: a -> b, c -> d, c -> e. The heuristic schedules c
 // first because executing it exposes two new eligible jobs.
 func ExamplePrioritize() {
-	g := dag.New()
-	a, b := g.AddNode("a"), g.AddNode("b")
-	c, d, e := g.AddNode("c"), g.AddNode("d"), g.AddNode("e")
-	g.MustAddArc(a, b)
-	g.MustAddArc(c, d)
-	g.MustAddArc(c, e)
+	gb := dag.New()
+	a, b := gb.AddNode("a"), gb.AddNode("b")
+	c, d, e := gb.AddNode("c"), gb.AddNode("d"), gb.AddNode("e")
+	gb.MustAddArc(a, b)
+	gb.MustAddArc(c, d)
+	gb.MustAddArc(c, e)
+	g := gb.MustFreeze()
 
 	s := core.Prioritize(g)
 	names := make([]string, len(s.Order))
@@ -31,11 +32,13 @@ func ExamplePrioritize() {
 }
 
 func ExampleFIFOSchedule() {
-	g := dag.New()
-	a, b := g.AddNode("a"), g.AddNode("b")
-	c := g.AddNode("c")
-	g.MustAddArc(a, b)
-	g.MustAddArc(a, c)
+	gb := dag.New()
+	a, b := gb.AddNode("a"), gb.AddNode("b")
+	c := gb.AddNode("c")
+	gb.MustAddArc(a, b)
+	gb.MustAddArc(a, c)
+	g := gb.MustFreeze()
+	_, _, _ = a, b, c
 
 	names := []string{}
 	for _, v := range core.FIFOSchedule(g) {
@@ -48,12 +51,12 @@ func ExampleFIFOSchedule() {
 
 func ExampleEligibilityTrace() {
 	// A fork: executing the source makes all three children eligible.
-	g := dag.New()
-	s := g.AddNode("s")
+	gb := dag.New()
+	s := gb.AddNode("s")
 	for i := 0; i < 3; i++ {
-		g.MustAddArc(s, g.AddNode(fmt.Sprintf("c%d", i)))
+		gb.MustAddArc(s, gb.AddNode(fmt.Sprintf("c%d", i)))
 	}
-	trace, _ := core.EligibilityTrace(g, []int{0, 1, 2, 3})
+	trace, _ := core.EligibilityTrace(gb.MustFreeze(), []int{0, 1, 2, 3})
 	fmt.Println(trace)
 	// Output:
 	// [1 3 2 1 0]
@@ -62,16 +65,17 @@ func ExampleEligibilityTrace() {
 func ExampleTheoreticalSchedule() {
 	// The crossed dag defeats the idealized algorithm; the heuristic
 	// still schedules it.
-	g := dag.New()
-	s1, s2 := g.AddNode("s1"), g.AddNode("s2")
-	x1, x2 := g.AddNode("x1"), g.AddNode("x2")
-	y1, y2 := g.AddNode("y1"), g.AddNode("y2")
-	g.MustAddArc(s1, y2)
-	g.MustAddArc(s1, x1)
-	g.MustAddArc(s2, y1)
-	g.MustAddArc(s2, x2)
-	g.MustAddArc(x1, y1)
-	g.MustAddArc(x2, y2)
+	gb := dag.New()
+	s1, s2 := gb.AddNode("s1"), gb.AddNode("s2")
+	x1, x2 := gb.AddNode("x1"), gb.AddNode("x2")
+	y1, y2 := gb.AddNode("y1"), gb.AddNode("y2")
+	gb.MustAddArc(s1, y2)
+	gb.MustAddArc(s1, x1)
+	gb.MustAddArc(s2, y1)
+	gb.MustAddArc(s2, x2)
+	gb.MustAddArc(x1, y1)
+	gb.MustAddArc(x2, y2)
+	g := gb.MustFreeze()
 
 	_, err := core.TheoreticalSchedule(g)
 	fmt.Println("theoretical:", err != nil)

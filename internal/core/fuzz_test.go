@@ -12,7 +12,7 @@ import (
 // count (1..16), each following pair is an arc attempt. Arcs always run
 // from the smaller to the larger index, so the result is acyclic by
 // construction; self-loops and duplicates are simply skipped.
-func decodeDAG(data []byte) *dag.Graph {
+func decodeDAG(data []byte) *dag.Frozen {
 	if len(data) == 0 {
 		return nil
 	}
@@ -31,7 +31,7 @@ func decodeDAG(data []byte) *dag.Graph {
 		}
 		g.AddArc(u, v) // duplicate arcs are rejected; skipping them is the point
 	}
-	return g
+	return g.MustFreeze()
 }
 
 // FuzzSchedule checks the pipeline's two contracts on arbitrary dags:

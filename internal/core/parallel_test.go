@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/dag"
 	"repro/internal/decompose"
 	"repro/internal/rng"
 	"repro/internal/workloads"
@@ -183,14 +182,12 @@ func TestParallelWorkersNormalization(t *testing.T) {
 // on the caller's goroutine in the parallel path, exactly as the
 // sequential path would.
 func TestRecurseComponentPanicPropagates(t *testing.T) {
-	// A cyclic Sub is unschedulable; the Recurse phase panics on it.
-	cyc := dag.New()
-	x, y := cyc.AddNode("x"), cyc.AddNode("y")
-	cyc.MustAddArc(x, y)
-	cyc.MustAddArc(y, x)
+	// A cycle can no longer reach the Recurse phase (Freeze rejects it),
+	// so a nil Sub stands in for "a buggy component": classifying it
+	// panics, and the parallel path must re-raise that panic here.
 	comps := make([]*decompose.Component, 16)
 	for i := range comps {
-		comps[i] = &decompose.Component{Index: i, Sub: cyc, Orig: []int{0, 1}}
+		comps[i] = &decompose.Component{Index: i, Sub: nil, Orig: []int{0, 1}}
 	}
 	defer func() {
 		if recover() == nil {

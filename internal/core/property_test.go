@@ -10,7 +10,7 @@ import (
 )
 
 // naiveEligible recomputes the eligible count from scratch.
-func naiveEligible(g *dag.Graph, executed map[int]bool) int {
+func naiveEligible(g *dag.Frozen, executed map[int]bool) int {
 	count := 0
 	for v := 0; v < g.NumNodes(); v++ {
 		if executed[v] {
@@ -18,7 +18,7 @@ func naiveEligible(g *dag.Graph, executed map[int]bool) int {
 		}
 		ok := true
 		for _, p := range g.Parents(v) {
-			if !executed[p] {
+			if !executed[int(p)] {
 				ok = false
 				break
 			}

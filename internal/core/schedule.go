@@ -54,7 +54,7 @@ type ComponentSchedule struct {
 
 // Schedule is the output of the prio pipeline for a dag.
 type Schedule struct {
-	Graph *dag.Graph
+	Graph *dag.Frozen
 	// Order is the PRIO execution order over all jobs: per-component
 	// non-sink schedules in greedy Combine order, then every dag sink
 	// in node-index order (the paper's "all sinks in arbitrary order";
@@ -78,12 +78,12 @@ type Schedule struct {
 // max-min-priority consumption of the superdag).
 //
 //prio:pure
-func Prioritize(g *dag.Graph) *Schedule { return PrioritizeOpts(g, Options{}) }
+func Prioritize(g *dag.Frozen) *Schedule { return PrioritizeOpts(g, Options{}) }
 
 // PrioritizeOpts runs the full heuristic with explicit options.
 //
 //prio:pure
-func PrioritizeOpts(g *dag.Graph, opts Options) *Schedule {
+func PrioritizeOpts(g *dag.Frozen, opts Options) *Schedule {
 	dopts := opts.Decompose
 	if opts.Cache != nil && dopts.ReduceCache == nil {
 		dopts.ReduceCache = opts.Cache.ReduceCache()
@@ -178,7 +178,7 @@ func degKeyLess(a, b degKey) bool {
 // greatest-outdegree-first order, constrained to be a valid execution
 // order (a job is only emitted once all of its parents inside the
 // component have been emitted).
-func outdegreeOrder(sub *dag.Graph) []int {
+func outdegreeOrder(sub *dag.Frozen) []int {
 	n := sub.NumNodes()
 	remaining := make([]int, n)
 	ready := btree.New(8, degKeyLess)
@@ -200,8 +200,8 @@ func outdegreeOrder(sub *dag.Graph) []int {
 		order = append(order, v)
 		for _, c := range sub.Children(v) {
 			remaining[c]--
-			if remaining[c] == 0 && sub.OutDegree(c) > 0 {
-				ready.Insert(degKey{deg: sub.OutDegree(c), idx: c})
+			if remaining[c] == 0 && sub.OutDegree(int(c)) > 0 {
+				ready.Insert(degKey{deg: sub.OutDegree(int(c)), idx: int(c)})
 			}
 		}
 	}

@@ -65,7 +65,7 @@ func TestPrioritizeSoak(t *testing.T) {
 // TestPrioritizeDeterministic guards against map-iteration order leaking
 // into schedules: repeated runs must produce identical orders.
 func TestPrioritizeDeterministic(t *testing.T) {
-	for _, g := range []*dag.Graph{
+	for _, g := range []*dag.Frozen{
 		workloads.Inspiral(40),
 		workloads.Montage(10, 6),
 		workloads.SDSS(100, 5),

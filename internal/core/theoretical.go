@@ -26,7 +26,7 @@ import (
 // (Prioritize) is its "graceful" extension: it agrees with this
 // algorithm whenever this algorithm works, and still produces a schedule
 // when it fails.
-func TheoreticalSchedule(g *dag.Graph) ([]int, error) {
+func TheoreticalSchedule(g *dag.Frozen) ([]int, error) {
 	return TheoreticalScheduleOpts(g, decompose.Options{})
 }
 
@@ -34,7 +34,7 @@ func TheoreticalSchedule(g *dag.Graph) ([]int, error) {
 // options, so callers that also run the heuristic (prio -theoretical)
 // can share a decompose.Options.ReduceCache and pay for the transitive
 // reduction once.
-func TheoreticalScheduleOpts(g *dag.Graph, dopts decompose.Options) ([]int, error) {
+func TheoreticalScheduleOpts(g *dag.Frozen, dopts decompose.Options) ([]int, error) {
 	dec := decompose.DecomposeOpts(g, dopts)
 
 	// Step 2: every component must be a bipartite building block whose
@@ -102,10 +102,7 @@ func TheoreticalScheduleOpts(g *dag.Graph, dopts decompose.Options) ([]int, erro
 	// topological sort of the strict relation — which is a partial
 	// order by the transitivity of the priority relation — honours
 	// exactly the same constraints.
-	topo, err := dec.Super.TopoSort()
-	if err != nil {
-		return nil, fmt.Errorf("core: superdag: %v", err)
-	}
+	topo := dec.Super.Topo()
 	strictBefore := func(a, b int) bool { return pt.r(a, b) == 1 && pt.r(b, a) < 1 }
 	remaining := make(map[int]int, distinct) // unemitted components per profile
 	for _, pid := range pids {
@@ -117,7 +114,7 @@ func TheoreticalScheduleOpts(g *dag.Graph, dopts decompose.Options) ([]int, erro
 	for len(sorted) < n {
 		picked := -1
 		for _, ci := range topo {
-			if emitted[ci] || superDone[ci] != dec.Super.InDegree(ci) {
+			if emitted[ci] || superDone[ci] != dec.Super.InDegree(int(ci)) {
 				continue
 			}
 			ready := true
@@ -128,7 +125,7 @@ func TheoreticalScheduleOpts(g *dag.Graph, dopts decompose.Options) ([]int, erro
 				}
 			}
 			if ready {
-				picked = ci
+				picked = int(ci)
 				break
 			}
 		}
@@ -142,10 +139,8 @@ func TheoreticalScheduleOpts(g *dag.Graph, dopts decompose.Options) ([]int, erro
 		}
 		sorted = append(sorted, picked)
 	}
-	topo = sorted
-
 	order := make([]int, 0, g.NumNodes())
-	for _, ci := range topo {
+	for _, ci := range sorted {
 		c := dec.Components[ci]
 		for _, si := range orders[ci] {
 			order = append(order, c.Orig[si])

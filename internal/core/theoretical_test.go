@@ -25,7 +25,7 @@ func TestTheoreticalFig3(t *testing.T) {
 }
 
 func TestTheoreticalOnBuildingBlocks(t *testing.T) {
-	for name, g := range map[string]*dag.Graph{
+	for name, g := range map[string]*dag.Frozen{
 		"W(3,2)":   bipartite.NewW(3, 2),
 		"M(2,3)":   bipartite.NewM(2, 3),
 		"N(4)":     bipartite.NewN(4),
@@ -155,12 +155,12 @@ func TestGracefulOnComposites(t *testing.T) {
 }
 
 func TestTheoreticalEmptyAndSingle(t *testing.T) {
-	if order, err := TheoreticalSchedule(dag.New()); err != nil || len(order) != 0 {
+	if order, err := TheoreticalSchedule(dag.New().MustFreeze()); err != nil || len(order) != 0 {
 		t.Fatalf("empty dag: %v, %v", order, err)
 	}
-	g := dag.New()
-	g.AddNode("x")
-	order, err := TheoreticalSchedule(g)
+	b := dag.New()
+	b.AddNode("x")
+	order, err := TheoreticalSchedule(b.MustFreeze())
 	if err != nil || len(order) != 1 {
 		t.Fatalf("singleton: %v, %v", order, err)
 	}

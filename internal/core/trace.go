@@ -16,7 +16,7 @@ import (
 // is unexecuted and all of its parents have been executed. The order may
 // cover a prefix of the dag (e.g. only non-sinks); it must never execute
 // a job before its parents, or an error is returned.
-func EligibilityTrace(g *dag.Graph, order []int) ([]int, error) {
+func EligibilityTrace(g *dag.Frozen, order []int) ([]int, error) {
 	n := g.NumNodes()
 	remaining := make([]int, n) // unexecuted parents per job
 	executed := make([]bool, n)
@@ -55,7 +55,7 @@ func EligibilityTrace(g *dag.Graph, order []int) ([]int, error) {
 
 // ValidateExecutionOrder checks that order is a permutation of all jobs
 // of g that respects every dependency.
-func ValidateExecutionOrder(g *dag.Graph, order []int) error {
+func ValidateExecutionOrder(g *dag.Frozen, order []int) error {
 	if len(order) != g.NumNodes() {
 		return fmt.Errorf("core: order has %d jobs, dag has %d", len(order), g.NumNodes())
 	}
@@ -68,7 +68,7 @@ func ValidateExecutionOrder(g *dag.Graph, order []int) error {
 // queue in node-index order (the order jobs appear in the DAGMan input
 // file); a job enters the queue the moment its last parent executes,
 // with simultaneous arrivals ordered by node index.
-func FIFOSchedule(g *dag.Graph) []int {
+func FIFOSchedule(g *dag.Frozen) []int {
 	n := g.NumNodes()
 	remaining := make([]int, n)
 	queue := make([]int, 0, n)
@@ -88,7 +88,7 @@ func FIFOSchedule(g *dag.Graph) []int {
 		for _, c := range g.Children(u) {
 			remaining[c]--
 			if remaining[c] == 0 {
-				queue = append(queue, c)
+				queue = append(queue, int(c))
 			}
 		}
 	}
@@ -101,7 +101,7 @@ func FIFOSchedule(g *dag.Graph) []int {
 // TraceDifference returns, for two complete execution orders of g, the
 // per-step difference E_a(t) - E_b(t) — the quantity plotted in Fig. 4
 // with a = PRIO and b = FIFO.
-func TraceDifference(g *dag.Graph, a, b []int) ([]int, error) {
+func TraceDifference(g *dag.Frozen, a, b []int) ([]int, error) {
 	ta, err := EligibilityTrace(g, a)
 	if err != nil {
 		return nil, fmt.Errorf("core: first order invalid: %w", err)

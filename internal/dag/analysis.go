@@ -1,71 +1,15 @@
 package dag
 
-import (
-	"fmt"
-
-	"repro/internal/bitset"
-)
-
-// TopoSort returns the nodes in a topological order (Kahn's algorithm,
-// smaller-index-first among ready nodes so the order is deterministic).
-// It returns an error if the graph contains a cycle.
-func (g *Graph) TopoSort() ([]int, error) {
-	n := g.NumNodes()
-	indeg := make([]int, n)
-	for v := 0; v < n; v++ {
-		indeg[v] = len(g.parents[v])
-	}
-	// A simple FIFO over ready nodes; seeded in index order, and children
-	// are appended in adjacency order, so the result is deterministic.
-	queue := make([]int, 0, n)
-	for v := 0; v < n; v++ {
-		if indeg[v] == 0 {
-			queue = append(queue, v)
-		}
-	}
-	order := make([]int, 0, n)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		order = append(order, u)
-		for _, v := range g.children[u] {
-			indeg[v]--
-			if indeg[v] == 0 {
-				queue = append(queue, v)
-			}
-		}
-	}
-	if len(order) != n {
-		return nil, fmt.Errorf("dag: cycle detected (%d of %d nodes sorted)", len(order), n)
-	}
-	return order, nil
-}
-
-// TopoPositions returns pos such that pos[v] is v's rank in TopoSort order.
-func (g *Graph) TopoPositions() ([]int, error) {
-	order, err := g.TopoSort()
-	if err != nil {
-		return nil, err
-	}
-	pos := make([]int, len(order))
-	for i, v := range order {
-		pos[v] = i
-	}
-	return pos, nil
-}
+import "repro/internal/bitset"
 
 // Levels returns, for each node, the length of the longest path from any
 // source to it (sources are level 0). The second result is the number of
-// nodes per level. Panics if the graph is cyclic.
-func (g *Graph) Levels() ([]int, []int) {
-	order, err := g.TopoSort()
-	if err != nil {
-		panic(err)
-	}
-	level := make([]int, g.NumNodes())
+// nodes per level.
+func (f *Frozen) Levels() ([]int, []int) {
+	level := make([]int, f.NumNodes())
 	maxLevel := 0
-	for _, u := range order {
-		for _, p := range g.parents[u] {
+	for _, u := range f.topo {
+		for _, p := range f.Parents(int(u)) {
 			if level[p]+1 > level[u] {
 				level[u] = level[p] + 1
 			}
@@ -84,22 +28,22 @@ func (g *Graph) Levels() ([]int, []int) {
 // CriticalPathLength returns the number of nodes on a longest directed
 // path (so a single node has critical path length 1). Zero for an empty
 // graph.
-func (g *Graph) CriticalPathLength() int {
-	if g.NumNodes() == 0 {
+func (f *Frozen) CriticalPathLength() int {
+	if f.NumNodes() == 0 {
 		return 0
 	}
-	_, counts := g.Levels()
+	_, counts := f.Levels()
 	return len(counts)
 }
 
 // MaxLevelWidth returns the largest number of nodes sharing one level —
 // a cheap proxy for the dag's parallelism ("width" in the paper's AIRSN
 // parameterization).
-func (g *Graph) MaxLevelWidth() int {
-	if g.NumNodes() == 0 {
+func (f *Frozen) MaxLevelWidth() int {
+	if f.NumNodes() == 0 {
 		return 0
 	}
-	_, counts := g.Levels()
+	_, counts := f.Levels()
 	w := 0
 	for _, c := range counts {
 		if c > w {
@@ -111,17 +55,17 @@ func (g *Graph) MaxLevelWidth() int {
 
 // Reachable returns the set of nodes reachable from start by directed
 // paths of length >= 0 (start itself is included).
-func (g *Graph) Reachable(start int) *bitset.Set {
-	g.checkNode(start)
-	seen := bitset.New(g.NumNodes())
-	stack := []int{start}
+func (f *Frozen) Reachable(start int) *bitset.Set {
+	f.checkNode(start)
+	seen := bitset.New(f.NumNodes())
+	stack := []int32{int32(start)}
 	seen.Add(start)
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, v := range g.children[u] {
-			if !seen.Contains(v) {
-				seen.Add(v)
+		for _, v := range f.Children(int(u)) {
+			if !seen.Contains(int(v)) {
+				seen.Add(int(v))
 				stack = append(stack, v)
 			}
 		}
@@ -131,32 +75,32 @@ func (g *Graph) Reachable(start int) *bitset.Set {
 
 // HasPath reports whether there is a directed path (length >= 1) from u
 // to v.
-func (g *Graph) HasPath(u, v int) bool {
-	g.checkNode(u)
-	g.checkNode(v)
+func (f *Frozen) HasPath(u, v int) bool {
+	f.checkNode(u)
+	f.checkNode(v)
 	if u == v {
 		return false
 	}
-	seen := bitset.New(g.NumNodes())
-	stack := make([]int, 0, 16)
-	for _, c := range g.children[u] {
-		if c == v {
+	seen := bitset.New(f.NumNodes())
+	stack := make([]int32, 0, 16)
+	for _, c := range f.Children(u) {
+		if int(c) == v {
 			return true
 		}
-		if !seen.Contains(c) {
-			seen.Add(c)
+		if !seen.Contains(int(c)) {
+			seen.Add(int(c))
 			stack = append(stack, c)
 		}
 	}
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, c := range g.children[x] {
-			if c == v {
+		for _, c := range f.Children(int(x)) {
+			if int(c) == v {
 				return true
 			}
-			if !seen.Contains(c) {
-				seen.Add(c)
+			if !seen.Contains(int(c)) {
+				seen.Add(int(c))
 				stack = append(stack, c)
 			}
 		}
@@ -166,30 +110,30 @@ func (g *Graph) HasPath(u, v int) bool {
 
 // UndirectedComponents returns a component id per node, ignoring arc
 // orientation, and the number of components.
-func (g *Graph) UndirectedComponents() ([]int, int) {
-	n := g.NumNodes()
+func (f *Frozen) UndirectedComponents() ([]int, int) {
+	n := f.NumNodes()
 	comp := make([]int, n)
 	for i := range comp {
 		comp[i] = -1
 	}
 	next := 0
-	var stack []int
+	var stack []int32
 	for v := 0; v < n; v++ {
 		if comp[v] != -1 {
 			continue
 		}
 		comp[v] = next
-		stack = append(stack[:0], v)
+		stack = append(stack[:0], int32(v))
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, w := range g.children[u] {
+			for _, w := range f.Children(int(u)) {
 				if comp[w] == -1 {
 					comp[w] = next
 					stack = append(stack, w)
 				}
 			}
-			for _, w := range g.parents[u] {
+			for _, w := range f.Parents(int(u)) {
 				if comp[w] == -1 {
 					comp[w] = next
 					stack = append(stack, w)
@@ -205,15 +149,18 @@ func (g *Graph) UndirectedComponents() ([]int, int) {
 // i.e. the node set splits into sources U and sinks V with all arcs
 // U -> V. (This is the paper's notion of a bipartite dag: a two-level
 // dag, not merely 2-colorable.)
-func (g *Graph) IsBipartiteDag() bool {
-	if g.NumNodes() == 0 {
+//
+//prio:noalloc
+//prio:pure
+func (f *Frozen) IsBipartiteDag() bool {
+	if f.NumNodes() == 0 {
 		return false
 	}
 	hasArc := false
-	for u := range g.names {
-		for _, v := range g.children[u] {
+	for u := 0; u < f.NumNodes(); u++ {
+		for _, v := range f.Children(u) {
 			hasArc = true
-			if len(g.parents[u]) != 0 || len(g.children[v]) != 0 {
+			if f.InDegree(u) != 0 || f.OutDegree(int(v)) != 0 {
 				return false
 			}
 		}

@@ -1,269 +1,204 @@
 // Package dag implements the directed-acyclic-graph substrate of the
-// scheduler. A Graph holds the jobs of a computation and their
+// scheduler. A graph holds the jobs of a computation and their
 // dependencies: an arc u -> v means job v cannot start until job u has
 // completed (u is a parent of v, v a child of u), exactly the model of
 // Section 2.1 of the paper.
 //
-// Graphs are built incrementally with AddNode/AddArc and then treated as
-// immutable by the analysis passes (topological sort, transitive
-// reduction, decomposition). Nodes are dense integer indices in insertion
-// order; every node also carries a name so that DAGMan files round-trip.
+// The package splits construction from analysis. A Builder is mutable
+// and grows incrementally with AddNode/AddArc; Freeze validates
+// acyclicity once and produces a Frozen — an immutable compressed-
+// sparse-row view with forward and backward adjacency packed into one
+// shared arc arena, interned job names, and precomputed indegrees and
+// topological order. Every analysis pass (transitive reduction,
+// decomposition, scheduling, simulation) consumes the Frozen form, so
+// the whole pipeline shares a single allocation-lean representation.
+// Nodes are dense integer indices in insertion order; every node also
+// carries a name so that DAGMan files round-trip.
 package dag
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
-// Graph is a directed graph intended to be acyclic. Acyclicity is not
-// enforced on every AddArc (that would be quadratic); call Validate or
-// TopoSort to check it once the graph is assembled.
-type Graph struct {
-	names    []string
-	index    map[string]int
-	children [][]int
-	parents  [][]int
-	numArcs  int
+// Arc is a directed edge of the graph.
+type Arc struct{ From, To int }
+
+// Builder accumulates nodes and arcs for a graph under construction.
+// It is the only mutable graph form; call Freeze (or MustFreeze) to
+// obtain the immutable Frozen view the analysis passes consume.
+type Builder struct {
+	names   []string
+	index   map[string]int
+	arcFrom []int32 // arc i runs arcFrom[i] -> arcTo[i], insertion order
+	arcTo   []int32
+	arcSet  map[arcKey]struct{}
+	outdeg  []int32
+	indeg   []int32
 }
 
-// New returns an empty graph.
-func New() *Graph {
-	return &Graph{index: make(map[string]int)}
+type arcKey struct{ u, v int32 }
+
+// New returns an empty builder.
+func New() *Builder {
+	return &Builder{index: make(map[string]int)}
 }
 
-// NewWithCapacity returns an empty graph with room preallocated for n nodes.
-func NewWithCapacity(n int) *Graph {
-	return &Graph{
-		names:    make([]string, 0, n),
-		index:    make(map[string]int, n),
-		children: make([][]int, 0, n),
-		parents:  make([][]int, 0, n),
+// NewWithCapacity returns an empty builder with room preallocated for n
+// nodes.
+func NewWithCapacity(n int) *Builder {
+	return &Builder{
+		names:  make([]string, 0, n),
+		index:  make(map[string]int, n),
+		outdeg: make([]int32, 0, n),
+		indeg:  make([]int32, 0, n),
 	}
 }
 
 // AddNode adds a node with the given name and returns its index. Names
 // must be unique; adding a duplicate name returns the existing index.
-func (g *Graph) AddNode(name string) int {
-	if i, ok := g.index[name]; ok {
+func (b *Builder) AddNode(name string) int {
+	if i, ok := b.index[name]; ok {
 		return i
 	}
-	i := len(g.names)
-	g.names = append(g.names, name)
-	g.index[name] = i
-	g.children = append(g.children, nil)
-	g.parents = append(g.parents, nil)
+	i := len(b.names)
+	b.names = append(b.names, name)
+	b.index[name] = i
+	b.outdeg = append(b.outdeg, 0)
+	b.indeg = append(b.indeg, 0)
 	return i
 }
 
 // AddArc adds the dependency u -> v. It panics on out-of-range indices and
 // returns an error for self-loops and duplicate arcs.
-func (g *Graph) AddArc(u, v int) error {
-	g.checkNode(u)
-	g.checkNode(v)
+func (b *Builder) AddArc(u, v int) error {
+	b.checkNode(u)
+	b.checkNode(v)
 	if u == v {
-		return fmt.Errorf("dag: self-loop on node %d (%s)", u, g.names[u])
+		return fmt.Errorf("dag: self-loop on node %d (%s)", u, b.names[u])
 	}
-	for _, c := range g.children[u] {
-		if c == v {
-			return fmt.Errorf("dag: duplicate arc %s -> %s", g.names[u], g.names[v])
-		}
+	k := arcKey{int32(u), int32(v)}
+	if _, dup := b.arcSet[k]; dup {
+		return fmt.Errorf("dag: duplicate arc %s -> %s", b.names[u], b.names[v])
 	}
-	g.children[u] = append(g.children[u], v)
-	g.parents[v] = append(g.parents[v], u)
-	g.numArcs++
+	if b.arcSet == nil {
+		b.arcSet = make(map[arcKey]struct{})
+	}
+	b.arcSet[k] = struct{}{}
+	b.arcFrom = append(b.arcFrom, int32(u))
+	b.arcTo = append(b.arcTo, int32(v))
+	b.outdeg[u]++
+	b.indeg[v]++
 	return nil
 }
 
 // MustAddArc is AddArc for construction code where duplicates are bugs.
-func (g *Graph) MustAddArc(u, v int) {
-	if err := g.AddArc(u, v); err != nil {
+func (b *Builder) MustAddArc(u, v int) {
+	if err := b.AddArc(u, v); err != nil {
 		panic(err)
 	}
 }
 
-func (g *Graph) checkNode(v int) {
-	if v < 0 || v >= len(g.names) {
-		panic(fmt.Sprintf("dag: node %d out of range [0,%d)", v, len(g.names)))
+func (b *Builder) checkNode(v int) {
+	if v < 0 || v >= len(b.names) {
+		panic(fmt.Sprintf("dag: node %d out of range [0,%d)", v, len(b.names)))
 	}
 }
 
-// NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.names) }
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.names) }
 
-// NumArcs returns the number of arcs.
-func (g *Graph) NumArcs() int { return g.numArcs }
+// NumArcs returns the number of arcs added so far.
+func (b *Builder) NumArcs() int { return len(b.arcFrom) }
 
 // Name returns the name of node v.
-func (g *Graph) Name(v int) string {
-	g.checkNode(v)
-	return g.names[v]
+func (b *Builder) Name(v int) string {
+	b.checkNode(v)
+	return b.names[v]
 }
 
-// Names returns the node names indexed by node. The caller must not
-// modify the returned slice.
-func (g *Graph) Names() []string { return g.names }
-
 // IndexOf returns the index of the node with the given name, or -1.
-func (g *Graph) IndexOf(name string) int {
-	if i, ok := g.index[name]; ok {
+func (b *Builder) IndexOf(name string) int {
+	if i, ok := b.index[name]; ok {
 		return i
 	}
 	return -1
 }
 
-// Children returns the out-neighbours of v. The caller must not modify
-// the returned slice.
-func (g *Graph) Children(v int) []int {
-	g.checkNode(v)
-	return g.children[v]
-}
-
-// Parents returns the in-neighbours of v. The caller must not modify the
-// returned slice.
-func (g *Graph) Parents(v int) []int {
-	g.checkNode(v)
-	return g.parents[v]
-}
-
-// OutDegree returns the number of children of v.
-func (g *Graph) OutDegree(v int) int { return len(g.Children(v)) }
-
-// InDegree returns the number of parents of v.
-func (g *Graph) InDegree(v int) int { return len(g.Parents(v)) }
-
-// IsSource reports whether v has no parents.
-func (g *Graph) IsSource(v int) bool { return g.InDegree(v) == 0 }
-
-// IsSink reports whether v has no children.
-func (g *Graph) IsSink(v int) bool { return g.OutDegree(v) == 0 }
-
-// Sources returns the nodes with no parents, in index order.
-func (g *Graph) Sources() []int {
+// Sinks returns the nodes with no outgoing arcs so far, in index order.
+// Composition generators use this to attach the next block mid-build.
+func (b *Builder) Sinks() []int {
 	var out []int
-	for v := range g.names {
-		if len(g.parents[v]) == 0 {
+	for v, d := range b.outdeg {
+		if d == 0 {
 			out = append(out, v)
 		}
 	}
 	return out
 }
 
-// Sinks returns the nodes with no children, in index order.
-func (g *Graph) Sinks() []int {
-	var out []int
-	for v := range g.names {
-		if len(g.children[v]) == 0 {
-			out = append(out, v)
-		}
-	}
-	return out
+// HasArc reports whether the arc u -> v has been added.
+func (b *Builder) HasArc(u, v int) bool {
+	b.checkNode(u)
+	b.checkNode(v)
+	_, ok := b.arcSet[arcKey{int32(u), int32(v)}]
+	return ok
 }
 
-// HasArc reports whether the arc u -> v exists.
-func (g *Graph) HasArc(u, v int) bool {
-	g.checkNode(u)
-	g.checkNode(v)
-	for _, c := range g.children[u] {
-		if c == v {
-			return true
-		}
+// Freeze validates acyclicity and converts the accumulated nodes and
+// arcs into the immutable CSR form. Adjacency preserves AddArc order:
+// Children(u) lists v in the order AddArc(u, v) was called, and
+// Parents(v) lists u in the order AddArc(u, v) was called. The builder
+// may be discarded (or kept growing toward a later, separate Freeze)
+// afterwards; the Frozen shares nothing mutable with it.
+func (b *Builder) Freeze() (*Frozen, error) {
+	n := len(b.names)
+	m := len(b.arcFrom)
+	f := &Frozen{
+		names:       b.names[:len(b.names):len(b.names)],
+		index:       b.index,
+		numArcs:     m,
+		childStart:  make([]int32, n+1),
+		parentStart: make([]int32, n+1),
+		arena:       make([]int32, 2*m),
 	}
-	return false
+	// Two stable counting sorts over the insertion-order arc list: by
+	// source into the children region, by target into the parents
+	// region. Stability is what preserves per-node AddArc order.
+	next := make([]int32, n)
+	var sum int32
+	for v := 0; v < n; v++ {
+		f.childStart[v] = sum
+		next[v] = sum
+		sum += b.outdeg[v]
+	}
+	f.childStart[n] = sum
+	for i := 0; i < m; i++ {
+		u := b.arcFrom[i]
+		f.arena[next[u]] = b.arcTo[i]
+		next[u]++
+	}
+	base := int32(m)
+	sum = base
+	for v := 0; v < n; v++ {
+		f.parentStart[v] = sum
+		next[v] = sum
+		sum += b.indeg[v]
+	}
+	f.parentStart[n] = sum
+	for i := 0; i < m; i++ {
+		v := b.arcTo[i]
+		f.arena[next[v]] = b.arcFrom[i]
+		next[v]++
+	}
+	if err := f.finish(next[:0]); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
-// Arc is a directed edge of the graph.
-type Arc struct{ From, To int }
-
-// Arcs returns all arcs sorted by (From, To).
-func (g *Graph) Arcs() []Arc {
-	out := make([]Arc, 0, g.numArcs)
-	for u := range g.names {
-		for _, v := range g.children[u] {
-			out = append(out, Arc{u, v})
-		}
+// MustFreeze is Freeze for construction code where a cycle is a bug.
+func (b *Builder) MustFreeze() *Frozen {
+	f, err := b.Freeze()
+	if err != nil {
+		panic(err)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		return out[i].To < out[j].To
-	})
-	return out
-}
-
-// Clone returns a deep copy of the graph.
-func (g *Graph) Clone() *Graph {
-	c := NewWithCapacity(g.NumNodes())
-	c.names = append(c.names[:0], g.names...)
-	for i, n := range g.names {
-		c.index[n] = i
-	}
-	c.children = make([][]int, len(g.children))
-	c.parents = make([][]int, len(g.parents))
-	for v := range g.children {
-		if len(g.children[v]) > 0 {
-			c.children[v] = append([]int(nil), g.children[v]...)
-		}
-		if len(g.parents[v]) > 0 {
-			c.parents[v] = append([]int(nil), g.parents[v]...)
-		}
-	}
-	c.numArcs = g.numArcs
-	return c
-}
-
-// Reverse returns the graph with every arc flipped. Node indices and
-// names are preserved.
-func (g *Graph) Reverse() *Graph {
-	r := g.Clone()
-	r.children, r.parents = r.parents, r.children
-	return r
-}
-
-// InducedSubgraph returns the subgraph induced by the given nodes together
-// with a mapping from new indices to original indices. Arcs between
-// selected nodes are preserved; names are preserved.
-func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int) {
-	sub := NewWithCapacity(len(nodes))
-	orig := make([]int, 0, len(nodes))
-	toNew := make(map[int]int, len(nodes))
-	for _, v := range nodes {
-		g.checkNode(v)
-		if _, dup := toNew[v]; dup {
-			continue
-		}
-		toNew[v] = sub.AddNode(g.names[v])
-		orig = append(orig, v)
-	}
-	for _, u := range orig {
-		for _, v := range g.children[u] {
-			if nv, ok := toNew[v]; ok {
-				sub.MustAddArc(toNew[u], nv)
-			}
-		}
-	}
-	return sub, orig
-}
-
-// Validate checks structural invariants: parent/child adjacency symmetry
-// and acyclicity. It returns nil for a well-formed dag.
-func (g *Graph) Validate() error {
-	for u := range g.names {
-		for _, v := range g.children[u] {
-			found := false
-			for _, p := range g.parents[v] {
-				if p == u {
-					found = true
-					break
-				}
-			}
-			if !found {
-				return fmt.Errorf("dag: arc %d->%d missing from parent list", u, v)
-			}
-		}
-	}
-	if _, err := g.TopoSort(); err != nil {
-		return err
-	}
-	return nil
+	return f
 }

@@ -6,89 +6,102 @@ import (
 	"testing"
 )
 
-// buildNamed creates a graph from arcs written as "a>b".
-func buildNamed(t testing.TB, nodes []string, arcs ...string) *Graph {
+// buildNamedB creates a builder from arcs written as "a>b".
+func buildNamedB(t testing.TB, nodes []string, arcs ...string) *Builder {
 	t.Helper()
-	g := New()
+	b := New()
 	for _, n := range nodes {
-		g.AddNode(n)
+		b.AddNode(n)
 	}
 	for _, a := range arcs {
 		parts := strings.Split(a, ">")
 		if len(parts) != 2 {
 			t.Fatalf("bad arc spec %q", a)
 		}
-		u, v := g.IndexOf(parts[0]), g.IndexOf(parts[1])
+		u, v := b.IndexOf(parts[0]), b.IndexOf(parts[1])
 		if u < 0 || v < 0 {
 			t.Fatalf("unknown node in arc %q", a)
 		}
-		g.MustAddArc(u, v)
+		b.MustAddArc(u, v)
 	}
-	return g
+	return b
+}
+
+// buildNamed creates a frozen graph from arcs written as "a>b".
+func buildNamed(t testing.TB, nodes []string, arcs ...string) *Frozen {
+	t.Helper()
+	return buildNamedB(t, nodes, arcs...).MustFreeze()
 }
 
 // chain builds a path graph v0 -> v1 -> ... -> v(n-1).
-func chain(n int) *Graph {
-	g := New()
+func chain(n int) *Frozen {
+	b := New()
 	for i := 0; i < n; i++ {
-		g.AddNode(fmt.Sprintf("v%d", i))
+		b.AddNode(fmt.Sprintf("v%d", i))
 	}
 	for i := 0; i+1 < n; i++ {
-		g.MustAddArc(i, i+1)
+		b.MustAddArc(i, i+1)
 	}
-	return g
+	return b.MustFreeze()
 }
 
 func TestAddNodeDeduplicates(t *testing.T) {
-	g := New()
-	a := g.AddNode("a")
-	b := g.AddNode("b")
-	a2 := g.AddNode("a")
+	b := New()
+	a := b.AddNode("a")
+	bb := b.AddNode("b")
+	a2 := b.AddNode("a")
 	if a != a2 {
 		t.Fatalf("duplicate name returned new index %d != %d", a2, a)
 	}
-	if g.NumNodes() != 2 {
-		t.Fatalf("NumNodes = %d, want 2", g.NumNodes())
+	if b.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", b.NumNodes())
 	}
-	if g.Name(b) != "b" || g.IndexOf("b") != b {
+	if b.Name(bb) != "b" || b.IndexOf("b") != bb {
 		t.Fatal("name/index round trip broken")
 	}
-	if g.IndexOf("zzz") != -1 {
+	if b.IndexOf("zzz") != -1 {
 		t.Fatal("IndexOf of unknown name should be -1")
+	}
+	g := b.MustFreeze()
+	if g.Name(bb) != "b" || g.IndexOf("b") != bb || g.IndexOf("zzz") != -1 {
+		t.Fatal("frozen name/index round trip broken")
 	}
 }
 
 func TestAddArcErrors(t *testing.T) {
-	g := New()
-	a, b := g.AddNode("a"), g.AddNode("b")
-	if err := g.AddArc(a, a); err == nil {
+	b := New()
+	a, bb := b.AddNode("a"), b.AddNode("b")
+	if err := b.AddArc(a, a); err == nil {
 		t.Fatal("self-loop accepted")
 	}
-	if err := g.AddArc(a, b); err != nil {
+	if err := b.AddArc(a, bb); err != nil {
 		t.Fatalf("first arc rejected: %v", err)
 	}
-	if err := g.AddArc(a, b); err == nil {
+	if err := b.AddArc(a, bb); err == nil {
 		t.Fatal("duplicate arc accepted")
 	}
-	if g.NumArcs() != 1 {
-		t.Fatalf("NumArcs = %d, want 1", g.NumArcs())
+	if b.NumArcs() != 1 {
+		t.Fatalf("NumArcs = %d, want 1", b.NumArcs())
+	}
+	if !b.HasArc(a, bb) || b.HasArc(bb, a) {
+		t.Fatal("builder HasArc wrong")
 	}
 }
 
 func TestAddArcOutOfRangePanics(t *testing.T) {
-	g := New()
-	g.AddNode("a")
+	b := New()
+	b.AddNode("a")
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on out-of-range node")
 		}
 	}()
-	_ = g.AddArc(0, 5)
+	_ = b.AddArc(0, 5)
 }
 
 func TestDegreesSourcesSinks(t *testing.T) {
 	g := buildNamed(t, []string{"a", "b", "c", "d", "e"}, "a>b", "c>d", "c>e")
-	if got := g.Sources(); len(got) != 2 || g.Name(got[0]) != "a" || g.Name(got[1]) != "c" {
+	if got := g.Sources(); len(got) != 2 || g.Name(int(got[0])) != "a" || g.Name(int(got[1])) != "c" {
 		t.Fatalf("Sources = %v", got)
 	}
 	if got := g.Sinks(); len(got) != 3 {
@@ -107,64 +120,59 @@ func TestDegreesSourcesSinks(t *testing.T) {
 	}
 }
 
-func TestTopoSortChain(t *testing.T) {
+func TestTopoChain(t *testing.T) {
 	g := chain(10)
-	order, err := g.TopoSort()
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("chain topo order %v", order)
+	for i, v := range g.Topo() {
+		if int(v) != i {
+			t.Fatalf("chain topo order %v", g.Topo())
 		}
 	}
-	pos, err := g.TopoPositions()
-	if err != nil {
-		t.Fatal(err)
-	}
-	for v, p := range pos {
-		if p != v {
-			t.Fatalf("TopoPositions %v", pos)
+	for v, p := range g.TopoPositions() {
+		if int(p) != v {
+			t.Fatalf("TopoPositions %v", g.TopoPositions())
 		}
 	}
 }
 
-func TestTopoSortRespectsArcs(t *testing.T) {
+func TestTopoRespectsArcs(t *testing.T) {
 	g := buildNamed(t, []string{"a", "b", "c", "d", "e", "f"},
 		"a>c", "b>c", "c>d", "c>e", "e>f", "b>f")
-	order, err := g.TopoSort()
-	if err != nil {
-		t.Fatal(err)
-	}
-	pos := make(map[int]int)
-	for i, v := range order {
-		pos[v] = i
-	}
+	pos := g.TopoPositions()
 	for _, a := range g.Arcs() {
 		if pos[a.From] >= pos[a.To] {
-			t.Fatalf("arc %v violated in order %v", a, order)
+			t.Fatalf("arc %v violated in order %v", a, g.Topo())
 		}
 	}
 }
 
-func TestTopoSortDetectsCycle(t *testing.T) {
-	g := New()
-	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
-	g.MustAddArc(a, b)
-	g.MustAddArc(b, c)
-	g.MustAddArc(c, a)
-	if _, err := g.TopoSort(); err == nil {
+func TestFreezeDetectsCycle(t *testing.T) {
+	b := New()
+	a, bb, c := b.AddNode("a"), b.AddNode("b"), b.AddNode("c")
+	b.MustAddArc(a, bb)
+	b.MustAddArc(bb, c)
+	b.MustAddArc(c, a)
+	if _, err := b.Freeze(); err == nil {
 		t.Fatal("cycle not detected")
-	}
-	if err := g.Validate(); err == nil {
-		t.Fatal("Validate missed cycle")
 	}
 }
 
-func TestValidateOK(t *testing.T) {
-	g := buildNamed(t, []string{"a", "b", "c"}, "a>b", "b>c")
-	if err := g.Validate(); err != nil {
-		t.Fatal(err)
+func TestFreezePreservesAdjacencyOrder(t *testing.T) {
+	// AddArc order is the contract: children and parents must list
+	// neighbours in insertion order, exactly like the pre-CSR Graph.
+	b := New()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		b.AddNode(n)
+	}
+	b.MustAddArc(0, 3) // a>d
+	b.MustAddArc(0, 1) // a>b
+	b.MustAddArc(2, 3) // c>d
+	b.MustAddArc(1, 3) // b>d
+	g := b.MustFreeze()
+	if got := g.Children(0); len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("Children(a) = %v, want [3 1] (insertion order)", got)
+	}
+	if got := g.Parents(3); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("Parents(d) = %v, want [0 2 1] (insertion order)", got)
 	}
 }
 
@@ -191,7 +199,7 @@ func TestLevelsAndCriticalPath(t *testing.T) {
 }
 
 func TestLevelsEmpty(t *testing.T) {
-	g := New()
+	g := New().MustFreeze()
 	if g.CriticalPathLength() != 0 || g.MaxLevelWidth() != 0 {
 		t.Fatal("empty graph metrics should be zero")
 	}
@@ -248,21 +256,27 @@ func TestIsBipartiteDag(t *testing.T) {
 	if single.IsBipartiteDag() {
 		t.Fatal("singleton wrongly bipartite")
 	}
-	if New().IsBipartiteDag() {
+	if New().MustFreeze().IsBipartiteDag() {
 		t.Fatal("empty graph wrongly bipartite")
 	}
 }
 
-func TestCloneIndependence(t *testing.T) {
-	g := buildNamed(t, []string{"a", "b"}, "a>b")
-	c := g.Clone()
-	c.AddNode("z")
-	c.MustAddArc(c.IndexOf("b"), c.IndexOf("z"))
+func TestBuilderReusableAfterFreeze(t *testing.T) {
+	// A Freeze snapshot must not alias builder growth: adding nodes and
+	// arcs afterwards leaves the frozen view untouched.
+	b := buildNamedB(t, []string{"a", "b"}, "a>b")
+	g := b.MustFreeze()
+	b.AddNode("z")
+	b.MustAddArc(b.IndexOf("b"), b.IndexOf("z"))
 	if g.NumNodes() != 2 || g.NumArcs() != 1 {
-		t.Fatal("mutating clone affected original")
+		t.Fatal("mutating builder affected frozen snapshot")
 	}
-	if c.NumNodes() != 3 || c.NumArcs() != 2 {
-		t.Fatal("clone mutation lost")
+	if g.IndexOf("z") != -1 {
+		t.Fatal("frozen snapshot sees node added after Freeze")
+	}
+	g2 := b.MustFreeze()
+	if g2.NumNodes() != 3 || g2.NumArcs() != 2 {
+		t.Fatal("second freeze lost builder growth")
 	}
 }
 
@@ -277,6 +291,12 @@ func TestReverse(t *testing.T) {
 	}
 	if !g.HasArc(g.IndexOf("a"), g.IndexOf("b")) {
 		t.Fatal("Reverse mutated original")
+	}
+	pos := r.TopoPositions()
+	for _, a := range r.Arcs() {
+		if pos[a.From] >= pos[a.To] {
+			t.Fatalf("reversed topo order invalid at arc %v", a)
+		}
 	}
 }
 

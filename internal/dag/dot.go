@@ -10,23 +10,23 @@ import (
 // parent -> child. An optional attribute function may decorate nodes
 // (e.g. with the priority assigned by the scheduler); it may return ""
 // for no attributes.
-func (g *Graph) DOT(name string, nodeAttrs func(v int) string) string {
+func (f *Frozen) DOT(name string, nodeAttrs func(v int) string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", name)
 	b.WriteString("  rankdir=BT;\n") // paper draws arcs oriented upward
-	for v := 0; v < g.NumNodes(); v++ {
+	for v := 0; v < f.NumNodes(); v++ {
 		attrs := ""
 		if nodeAttrs != nil {
 			attrs = nodeAttrs(v)
 		}
 		if attrs != "" {
-			fmt.Fprintf(&b, "  %q [%s];\n", g.names[v], attrs)
+			fmt.Fprintf(&b, "  %q [%s];\n", f.names[v], attrs)
 		} else {
-			fmt.Fprintf(&b, "  %q;\n", g.names[v])
+			fmt.Fprintf(&b, "  %q;\n", f.names[v])
 		}
 	}
-	for _, a := range g.Arcs() {
-		fmt.Fprintf(&b, "  %q -> %q;\n", g.names[a.From], g.names[a.To])
+	for _, a := range f.Arcs() {
+		fmt.Fprintf(&b, "  %q -> %q;\n", f.names[a.From], f.names[a.To])
 	}
 	b.WriteString("}\n")
 	return b.String()
@@ -45,23 +45,23 @@ type Stats struct {
 }
 
 // ComputeStats returns structural statistics for the graph.
-func (g *Graph) ComputeStats() Stats {
+func (f *Frozen) ComputeStats() Stats {
 	s := Stats{
-		Nodes:   g.NumNodes(),
-		Arcs:    g.NumArcs(),
-		Sources: len(g.Sources()),
-		Sinks:   len(g.Sinks()),
+		Nodes:   f.NumNodes(),
+		Arcs:    f.NumArcs(),
+		Sources: len(f.Sources()),
+		Sinks:   len(f.Sinks()),
 	}
 	if s.Nodes > 0 {
-		s.CriticalPath = g.CriticalPathLength()
-		s.MaxLevelWidth = g.MaxLevelWidth()
-		_, s.UndirectedComponents = g.UndirectedComponents()
+		s.CriticalPath = f.CriticalPathLength()
+		s.MaxLevelWidth = f.MaxLevelWidth()
+		_, s.UndirectedComponents = f.UndirectedComponents()
 	}
-	for v := 0; v < g.NumNodes(); v++ {
-		if d := g.OutDegree(v); d > s.MaxOutDegree {
+	for v := 0; v < f.NumNodes(); v++ {
+		if d := f.OutDegree(v); d > s.MaxOutDegree {
 			s.MaxOutDegree = d
 		}
-		if d := g.InDegree(v); d > s.MaxInDegree {
+		if d := f.InDegree(v); d > s.MaxInDegree {
 			s.MaxInDegree = d
 		}
 	}
@@ -74,24 +74,24 @@ func (s Stats) String() string {
 }
 
 // DegreeHistogram returns counts of out-degrees (index = degree).
-func (g *Graph) DegreeHistogram() []int {
+func (f *Frozen) DegreeHistogram() []int {
 	max := 0
-	for v := 0; v < g.NumNodes(); v++ {
-		if d := g.OutDegree(v); d > max {
+	for v := 0; v < f.NumNodes(); v++ {
+		if d := f.OutDegree(v); d > max {
 			max = d
 		}
 	}
 	h := make([]int, max+1)
-	for v := 0; v < g.NumNodes(); v++ {
-		h[g.OutDegree(v)]++
+	for v := 0; v < f.NumNodes(); v++ {
+		h[f.OutDegree(v)]++
 	}
 	return h
 }
 
 // SortedNames returns the node names in lexicographic order (handy for
 // deterministic test assertions).
-func (g *Graph) SortedNames() []string {
-	out := append([]string(nil), g.names...)
+func (f *Frozen) SortedNames() []string {
+	out := append([]string(nil), f.names...)
 	sort.Strings(out)
 	return out
 }

@@ -22,7 +22,7 @@ var fingerprintSeed = maphash.MakeSeed()
 // fingerprints are equal with overwhelming probability, but callers
 // that must not confuse distinct graphs should verify with StructuralEq
 // (the ReduceCache does).
-func (g *Graph) Fingerprint() uint64 {
+func (f *Frozen) Fingerprint() uint64 {
 	var h maphash.Hash
 	h.SetSeed(fingerprintSeed)
 	var buf [8]byte
@@ -33,16 +33,16 @@ func (g *Graph) Fingerprint() uint64 {
 		}
 		h.Write(buf[:])
 	}
-	writeInt(len(g.names))
-	for _, name := range g.names {
+	writeInt(f.NumNodes())
+	for _, name := range f.names {
 		h.WriteString(name)
 		h.WriteByte(0)
 	}
-	writeInt(g.numArcs)
-	for u := range g.children {
+	writeInt(f.numArcs)
+	for u := 0; u < f.NumNodes(); u++ {
 		writeInt(-u - 1) // delimiter: distinguishes adjacency boundaries
-		for _, v := range g.children[u] {
-			writeInt(v)
+		for _, v := range f.Children(u) {
+			writeInt(int(v))
 		}
 	}
 	return h.Sum64()
@@ -50,24 +50,27 @@ func (g *Graph) Fingerprint() uint64 {
 
 // StructuralEq reports whether g and o have identical node names (in
 // index order) and identical adjacency (including arc insertion order).
-func (g *Graph) StructuralEq(o *Graph) bool {
-	if g == o {
+//
+//prio:noalloc
+//prio:pure
+func (f *Frozen) StructuralEq(o *Frozen) bool {
+	if f == o {
 		return true
 	}
-	if len(g.names) != len(o.names) || g.numArcs != o.numArcs {
+	if len(f.names) != len(o.names) || f.numArcs != o.numArcs {
 		return false
 	}
-	for i, name := range g.names {
+	for i, name := range f.names {
 		if o.names[i] != name {
 			return false
 		}
 	}
-	for u := range g.children {
-		gu, ou := g.children[u], o.children[u]
-		if len(gu) != len(ou) {
+	for u := 0; u < f.NumNodes(); u++ {
+		fu, ou := f.Children(u), o.Children(u)
+		if len(fu) != len(ou) {
 			return false
 		}
-		for i, v := range gu {
+		for i, v := range fu {
 			if ou[i] != v {
 				return false
 			}
@@ -78,17 +81,17 @@ func (g *Graph) StructuralEq(o *Graph) bool {
 
 // ReduceCache memoizes transitive reductions by graph fingerprint. It
 // is safe for concurrent use. Cached results are shared: callers must
-// treat the returned graph and shortcut list as immutable, which every
-// analysis pass in this repository already does (see the package
-// comment).
+// treat the returned graph and shortcut list as immutable, which the
+// Frozen form guarantees for the graph and convention guarantees for
+// the slice.
 type ReduceCache struct {
 	mu      sync.Mutex
 	entries map[uint64]*reduceEntry // guarded by mu
 }
 
 type reduceEntry struct {
-	source    *Graph // the graph the reduction was computed from
-	reduced   *Graph
+	source    *Frozen // the graph the reduction was computed from
+	reduced   *Frozen
 	shortcuts []Arc
 }
 
@@ -103,20 +106,20 @@ func NewReduceCache() *ReduceCache {
 // not be mutated. Fingerprint collisions are guarded by a structural
 // comparison against the graph that populated the entry, so a hit is
 // never wrong.
-func (g *Graph) TransitiveReductionCached(c *ReduceCache) (*Graph, []Arc) {
+func (f *Frozen) TransitiveReductionCached(c *ReduceCache) (*Frozen, []Arc) {
 	if c == nil {
-		return g.TransitiveReduction()
+		return f.TransitiveReduction()
 	}
-	fp := g.Fingerprint()
+	fp := f.Fingerprint()
 	c.mu.Lock()
 	e, ok := c.entries[fp]
 	c.mu.Unlock()
-	if ok && g.StructuralEq(e.source) {
+	if ok && f.StructuralEq(e.source) {
 		return e.reduced, e.shortcuts
 	}
-	reduced, shortcuts := g.TransitiveReduction()
+	reduced, shortcuts := f.TransitiveReduction()
 	c.mu.Lock()
-	c.entries[fp] = &reduceEntry{source: g, reduced: reduced, shortcuts: shortcuts}
+	c.entries[fp] = &reduceEntry{source: f, reduced: reduced, shortcuts: shortcuts}
 	c.mu.Unlock()
 	return reduced, shortcuts
 }

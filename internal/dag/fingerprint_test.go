@@ -2,16 +2,18 @@ package dag
 
 import "testing"
 
-func fpTestGraph() *Graph {
-	g := New()
-	a, b, c, d := g.AddNode("a"), g.AddNode("b"), g.AddNode("c"), g.AddNode("d")
-	g.MustAddArc(a, b)
-	g.MustAddArc(a, c)
-	g.MustAddArc(b, d)
-	g.MustAddArc(c, d)
-	g.MustAddArc(a, d) // shortcut
-	return g
+func fpTestBuilder() *Builder {
+	b := New()
+	a, bb, c, d := b.AddNode("a"), b.AddNode("b"), b.AddNode("c"), b.AddNode("d")
+	b.MustAddArc(a, bb)
+	b.MustAddArc(a, c)
+	b.MustAddArc(bb, d)
+	b.MustAddArc(c, d)
+	b.MustAddArc(a, d) // shortcut
+	return b
 }
+
+func fpTestGraph() *Frozen { return fpTestBuilder().MustFreeze() }
 
 func TestFingerprintStability(t *testing.T) {
 	g1, g2 := fpTestGraph(), fpTestGraph()
@@ -21,20 +23,22 @@ func TestFingerprintStability(t *testing.T) {
 	if !g1.StructuralEq(g2) {
 		t.Fatal("identical graphs not StructuralEq")
 	}
-	g2.MustAddArc(g2.IndexOf("b"), g2.IndexOf("c"))
-	if g1.Fingerprint() == g2.Fingerprint() {
+	b := fpTestBuilder()
+	b.MustAddArc(b.IndexOf("b"), b.IndexOf("c"))
+	g3 := b.MustFreeze()
+	if g1.Fingerprint() == g3.Fingerprint() {
 		t.Fatal("distinct graphs share a fingerprint")
 	}
-	if g1.StructuralEq(g2) {
+	if g1.StructuralEq(g3) {
 		t.Fatal("distinct graphs StructuralEq")
 	}
 }
 
 func TestFingerprintSensitiveToNames(t *testing.T) {
-	g1, g2 := New(), New()
-	g1.AddNode("a")
-	g2.AddNode("b")
-	if g1.Fingerprint() == g2.Fingerprint() {
+	b1, b2 := New(), New()
+	b1.AddNode("a")
+	b2.AddNode("b")
+	if b1.MustFreeze().Fingerprint() == b2.MustFreeze().Fingerprint() {
 		t.Fatal("renamed node did not change the fingerprint")
 	}
 }
@@ -76,7 +80,7 @@ func TestTransitiveReductionCached(t *testing.T) {
 func TestTransitiveReductionCachedConcurrent(t *testing.T) {
 	g := fpTestGraph()
 	c := NewReduceCache()
-	done := make(chan *Graph, 8)
+	done := make(chan *Frozen, 8)
 	for i := 0; i < 8; i++ {
 		go func() {
 			r, _ := g.TransitiveReductionCached(c)

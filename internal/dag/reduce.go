@@ -14,37 +14,37 @@ package dag
 // in topological order; a DFS from each child marks its descendants, and
 // a child found already marked is a shortcut target. The DFS is pruned at
 // nodes whose topological position exceeds that of u's last child, since
-// such nodes cannot lie on a path to any child of u.
-func (g *Graph) ShortcutArcs() []Arc {
-	pos, err := g.TopoPositions()
-	if err != nil {
-		panic(err)
-	}
-	n := g.NumNodes()
+// such nodes cannot lie on a path to any child of u. Traversal is pure
+// CSR slice walking: the only allocations are the visit stamps, the DFS
+// stack, one reusable child-order buffer, and the result.
+func (f *Frozen) ShortcutArcs() []Arc {
+	pos := f.pos
+	n := f.NumNodes()
 	// visited[v] == stamp means v was marked during the current u's scan.
-	visited := make([]int, n)
+	visited := make([]int32, n)
 	for i := range visited {
 		visited[i] = -1
 	}
-	stack := make([]int, 0, 64)
+	stack := make([]int32, 0, 64)
+	order := make([]int32, 0, 16)
 	var shortcuts []Arc
 
 	for u := 0; u < n; u++ {
-		kids := g.children[u]
+		kids := f.Children(u)
 		if len(kids) < 2 {
 			continue // a single arc cannot be a shortcut of itself
 		}
 		// Children in ascending topological order: any child reachable
 		// from another child must come later in topo order, so by the
 		// time we visit it, the DFS of the earlier child has marked it.
-		order := append([]int(nil), kids...)
+		order = append(order[:0], kids...)
 		insertionSortByPos(order, pos)
 		maxPos := pos[order[len(order)-1]]
 
-		stamp := u
+		stamp := int32(u)
 		for _, c := range order {
 			if visited[c] == stamp {
-				shortcuts = append(shortcuts, Arc{u, c})
+				shortcuts = append(shortcuts, Arc{u, int(c)})
 				continue // descendants of c are already being marked via the earlier child
 			}
 			// DFS from c, marking descendants; prune beyond maxPos.
@@ -53,7 +53,7 @@ func (g *Graph) ShortcutArcs() []Arc {
 			for len(stack) > 0 {
 				x := stack[len(stack)-1]
 				stack = stack[:len(stack)-1]
-				for _, w := range g.children[x] {
+				for _, w := range f.Children(int(x)) {
 					if visited[w] == stamp || pos[w] > maxPos {
 						continue
 					}
@@ -67,7 +67,8 @@ func (g *Graph) ShortcutArcs() []Arc {
 	return shortcuts
 }
 
-func insertionSortByPos(xs []int, pos []int) {
+//prio:noalloc
+func insertionSortByPos(xs []int32, pos []int32) {
 	for i := 1; i < len(xs); i++ {
 		x := xs[i]
 		j := i - 1
@@ -79,6 +80,7 @@ func insertionSortByPos(xs []int, pos []int) {
 	}
 }
 
+//prio:noalloc
 func sortArcs(arcs []Arc) {
 	// insertion sort is fine: shortcut lists are short in practice, and
 	// the slice arrives almost sorted (outer loop is by From).
@@ -93,28 +95,55 @@ func sortArcs(arcs []Arc) {
 	}
 }
 
-// TransitiveReduction returns a copy of g with every shortcut arc removed,
+// TransitiveReduction returns g with every shortcut arc removed,
 // together with the list of removed arcs. Node indices and names are
-// preserved.
-func (g *Graph) TransitiveReduction() (*Graph, []Arc) {
-	shortcuts := g.ShortcutArcs()
+// preserved. When the graph has no shortcuts the receiver itself is
+// returned — Frozen graphs are immutable, so sharing is safe and the
+// common already-reduced case costs no copy at all. Otherwise the
+// reduced graph is assembled directly in CSR form, sharing the name
+// table with the receiver.
+func (f *Frozen) TransitiveReduction() (*Frozen, []Arc) {
+	shortcuts := f.ShortcutArcs()
 	if len(shortcuts) == 0 {
-		return g.Clone(), nil
+		return f, nil
 	}
-	drop := make(map[Arc]bool, len(shortcuts))
-	for _, a := range shortcuts {
-		drop[a] = true
-	}
-	r := NewWithCapacity(g.NumNodes())
-	for _, name := range g.names {
-		r.AddNode(name)
-	}
-	for u := range g.names {
-		for _, v := range g.children[u] {
-			if !drop[Arc{u, v}] {
-				r.MustAddArc(u, v)
-			}
+	n := f.NumNodes()
+	m := f.numArcs - len(shortcuts)
+	childStart := make([]int32, n+1)
+	arena := make([]int32, 2*m)
+	// shortcuts is sorted by From, so the dropped arcs of node u occupy
+	// one contiguous range; those ranges are short (a handful of arcs),
+	// so membership is a linear probe rather than a map. A node's
+	// surviving children keep their relative adjacency order, matching a
+	// rebuild that skips dropped arcs.
+	si := 0
+	var next int32
+	for u := 0; u < n; u++ {
+		childStart[u] = next
+		sj := si
+		for sj < len(shortcuts) && shortcuts[sj].From == u {
+			sj++
 		}
+		for _, v := range f.Children(u) {
+			dropped := false
+			for k := si; k < sj; k++ {
+				if shortcuts[k].To == int(v) {
+					dropped = true
+					break
+				}
+			}
+			if dropped {
+				continue
+			}
+			arena[next] = v
+			next++
+		}
+		si = sj
+	}
+	childStart[n] = next
+	r, err := buildFrozen(f.names, f.index, childStart, arena)
+	if err != nil {
+		panic(err) // unreachable: removing arcs cannot create a cycle
 	}
 	return r, shortcuts
 }

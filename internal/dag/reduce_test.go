@@ -33,13 +33,23 @@ func TestShortcutNone(t *testing.T) {
 	if r.NumArcs() != g.NumArcs() {
 		t.Fatal("reduction changed a reduced graph")
 	}
+	if r != g {
+		t.Fatal("reduction of a reduced graph should share the receiver")
+	}
 }
 
 func TestShortcutLongPath(t *testing.T) {
 	// chain of 6 plus a long shortcut 0 -> 5 and a medium one 1 -> 4.
-	g := chain(6)
-	g.MustAddArc(0, 5)
-	g.MustAddArc(1, 4)
+	b := New()
+	for i := 0; i < 6; i++ {
+		b.AddNode(fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i+1 < 6; i++ {
+		b.MustAddArc(i, i+1)
+	}
+	b.MustAddArc(0, 5)
+	b.MustAddArc(1, 4)
+	g := b.MustFreeze()
 	sc := g.ShortcutArcs()
 	if len(sc) != 2 {
 		t.Fatalf("shortcuts = %v, want two", sc)
@@ -64,15 +74,16 @@ func TestShortcutDiamondPlusDirect(t *testing.T) {
 
 func TestShortcutChainOfShortcuts(t *testing.T) {
 	// Complete dag on 5 nodes: only the chain survives.
-	g := New()
+	b := New()
 	for i := 0; i < 5; i++ {
-		g.AddNode(fmt.Sprintf("v%d", i))
+		b.AddNode(fmt.Sprintf("v%d", i))
 	}
 	for i := 0; i < 5; i++ {
 		for j := i + 1; j < 5; j++ {
-			g.MustAddArc(i, j)
+			b.MustAddArc(i, j)
 		}
 	}
+	g := b.MustFreeze()
 	r, removed := g.TransitiveReduction()
 	if r.NumArcs() != 4 {
 		t.Fatalf("complete dag reduced to %d arcs, want 4", r.NumArcs())
@@ -96,23 +107,23 @@ func TestReductionPreservesNamesAndNodes(t *testing.T) {
 }
 
 // randomDag builds a random dag: arcs only from lower to higher index.
-func randomDag(r *rng.Source, n int, p float64) *Graph {
-	g := New()
+func randomDag(r *rng.Source, n int, p float64) *Frozen {
+	b := New()
 	for i := 0; i < n; i++ {
-		g.AddNode(fmt.Sprintf("n%d", i))
+		b.AddNode(fmt.Sprintf("n%d", i))
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if r.Float64() < p {
-				g.MustAddArc(i, j)
+				b.MustAddArc(i, j)
 			}
 		}
 	}
-	return g
+	return b.MustFreeze()
 }
 
 // reachabilityMatrix computes pairwise reachability by DFS from each node.
-func reachabilityMatrix(g *Graph) [][]bool {
+func reachabilityMatrix(g *Frozen) [][]bool {
 	n := g.NumNodes()
 	m := make([][]bool, n)
 	for v := 0; v < n; v++ {
@@ -160,14 +171,14 @@ func TestQuickReductionMinimal(t *testing.T) {
 					arcs = append(arcs, b)
 				}
 			}
-			h := New()
+			hb := New()
 			for i := 0; i < n; i++ {
-				h.AddNode(fmt.Sprintf("n%d", i))
+				hb.AddNode(fmt.Sprintf("n%d", i))
 			}
 			for _, b := range arcs {
-				h.MustAddArc(b.From, b.To)
+				hb.MustAddArc(b.From, b.To)
 			}
-			if h.HasPath(a.From, a.To) {
+			if hb.MustFreeze().HasPath(a.From, a.To) {
 				t.Fatalf("trial %d: arc %v is redundant after reduction", trial, a)
 			}
 		}
@@ -192,14 +203,14 @@ func TestQuickTreeHasNoShortcuts(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := rng.New(seed)
 		n := 2 + r.Intn(40)
-		g := New()
+		b := New()
 		for i := 0; i < n; i++ {
-			g.AddNode(fmt.Sprintf("n%d", i))
+			b.AddNode(fmt.Sprintf("n%d", i))
 		}
 		for i := 1; i < n; i++ {
-			g.MustAddArc(r.Intn(i), i) // random parent forms a forest
+			b.MustAddArc(r.Intn(i), i) // random parent forms a forest
 		}
-		return len(g.ShortcutArcs()) == 0
+		return len(b.MustFreeze().ShortcutArcs()) == 0
 	}
 	if err := quick.Check(f, quickCfg()); err != nil {
 		t.Fatal(err)
@@ -220,13 +231,24 @@ func BenchmarkTransitiveReductionLayered(b *testing.B) {
 	}
 }
 
-func BenchmarkTopoSort(b *testing.B) {
+func BenchmarkFreeze(b *testing.B) {
 	r := rng.New(5)
-	g := randomDag(r, 2000, 0.005)
+	n := 2000
+	bb := New()
+	for i := 0; i < n; i++ {
+		bb.AddNode(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.005 {
+				bb.MustAddArc(i, j)
+			}
+		}
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := g.TopoSort(); err != nil {
+		if _, err := bb.Freeze(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -23,25 +23,23 @@ const MaxWidthNodes = 8192
 // This is the precise version of the paper's informal "AIRSN of width
 // 250". For dags larger than MaxWidthNodes an error is returned (use
 // MaxLevelWidth for a cheap lower bound).
-func (g *Graph) Width() (int, []int, error) {
-	n := g.NumNodes()
+func (f *Frozen) Width() (int, []int, error) {
+	n := f.NumNodes()
 	if n == 0 {
 		return 0, nil, nil
 	}
 	if n > MaxWidthNodes {
 		return 0, nil, fmt.Errorf("dag: Width on %d nodes exceeds the %d-node exact bound", n, MaxWidthNodes)
 	}
-	order, err := g.TopoSort()
-	if err != nil {
-		return 0, nil, err
-	}
-	// Transitive closure by reverse topological sweep of bitsets.
+	// Transitive closure by reverse topological sweep of bitsets over
+	// the precomputed order.
+	order := f.topo
 	reach := make([]*bitset.Set, n)
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
 		reach[v] = bitset.New(n)
-		for _, c := range g.children[v] {
-			reach[v].Add(c)
+		for _, c := range f.Children(int(v)) {
+			reach[v].Add(int(c))
 			reach[v].UnionWith(reach[c])
 		}
 	}

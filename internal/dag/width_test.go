@@ -18,11 +18,11 @@ func TestWidthChain(t *testing.T) {
 }
 
 func TestWidthIndependent(t *testing.T) {
-	g := New()
+	b := New()
 	for i := 0; i < 7; i++ {
-		g.AddNode(string(rune('a' + i)))
+		b.AddNode(string(rune('a' + i)))
 	}
-	w, anti, err := g.Width()
+	w, anti, err := b.MustFreeze().Width()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestWidthDiamond(t *testing.T) {
 }
 
 func TestWidthEmptyAndLimit(t *testing.T) {
-	w, anti, err := New().Width()
+	w, anti, err := New().MustFreeze().Width()
 	if err != nil || w != 0 || anti != nil {
 		t.Fatalf("empty width = %d, %v, %v", w, anti, err)
 	}
@@ -54,7 +54,7 @@ func TestWidthEmptyAndLimit(t *testing.T) {
 	for i := 0; i <= MaxWidthNodes; i++ {
 		big.AddNode(string(rune('a')) + itoa(i))
 	}
-	if _, _, err := big.Width(); err == nil {
+	if _, _, err := big.MustFreeze().Width(); err == nil {
 		t.Fatal("oversized dag accepted")
 	}
 }
@@ -72,7 +72,7 @@ func itoa(i int) string {
 }
 
 // bruteWidth enumerates all antichains for tiny dags.
-func bruteWidth(g *Graph) int {
+func bruteWidth(g *Frozen) int {
 	n := g.NumNodes()
 	comparable := make([][]bool, n)
 	for u := 0; u < n; u++ {
@@ -143,16 +143,16 @@ func TestWidthAgainstBruteForce(t *testing.T) {
 func TestWidthForkWithFringes(t *testing.T) {
 	// fork f -> c0..c3, fringes g0..g3 -> c0..c3 (AIRSN's first cover
 	// in miniature): antichain = fringes + fork = 5.
-	g := New()
-	f := g.AddNode("f")
+	b := New()
+	f := b.AddNode("f")
 	var fr, cv [4]int
 	for i := 0; i < 4; i++ {
-		fr[i] = g.AddNode("g" + itoa(i))
-		cv[i] = g.AddNode("c" + itoa(i))
-		g.MustAddArc(f, cv[i])
-		g.MustAddArc(fr[i], cv[i])
+		fr[i] = b.AddNode("g" + itoa(i))
+		cv[i] = b.AddNode("c" + itoa(i))
+		b.MustAddArc(f, cv[i])
+		b.MustAddArc(fr[i], cv[i])
 	}
-	w, _, err := g.Width()
+	w, _, err := b.MustFreeze().Width()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,14 +162,15 @@ func TestWidthForkWithFringes(t *testing.T) {
 }
 
 func BenchmarkWidthAIRSNLike(b *testing.B) {
-	g := New()
-	f := g.AddNode("f")
+	bb := New()
+	f := bb.AddNode("f")
 	for i := 0; i < 250; i++ {
-		fr := g.AddNode("g" + itoa(i))
-		cv := g.AddNode("c" + itoa(i))
-		g.MustAddArc(f, cv)
-		g.MustAddArc(fr, cv)
+		fr := bb.AddNode("g" + itoa(i))
+		cv := bb.AddNode("c" + itoa(i))
+		bb.MustAddArc(f, cv)
+		bb.MustAddArc(fr, cv)
 	}
+	g := bb.MustFreeze()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

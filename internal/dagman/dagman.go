@@ -14,12 +14,12 @@
 package dagman
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"unicode"
 
 	"repro/internal/dag"
 )
@@ -63,23 +63,40 @@ type File struct {
 	Splices []Splice
 	lines   []line
 	index   map[string]int // job name -> Jobs index
+	// fieldsBuf is addLine's reusable tokenization scratch; any fields
+	// that outlive the line (job names, Extra tails) are retained as
+	// substrings of the input or copied out.
+	fieldsBuf []string
 }
 
-// Parse reads a DAGMan input file.
+// Parse reads a DAGMan input file. The whole input is read into one
+// string and every line, job name, and submit-file reference is a
+// substring of it, so parsing a file of L lines costs O(log L)
+// allocations beyond the retained Jobs/Deps/lines slices rather than a
+// line copy plus a token slice per line.
 func Parse(r io.Reader) (*File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("dagman: read: %w", err)
+	}
+	text := string(data)
 	f := &File{index: make(map[string]int)}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
-	for sc.Scan() {
+	for start := 0; start < len(text); {
+		var raw string
+		if end := strings.IndexByte(text[start:], '\n'); end < 0 {
+			raw = text[start:]
+			start = len(text)
+		} else {
+			raw = text[start : start+end]
+			start += end + 1
+		}
+		// Like bufio.ScanLines, a \r\n terminator counts as a plain \n.
+		raw = strings.TrimSuffix(raw, "\r")
 		lineNo++
-		raw := sc.Text()
 		if err := f.addLine(raw, lineNo); err != nil {
 			return nil, err
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dagman: read: %w", err)
 	}
 	return f, nil
 }
@@ -94,8 +111,39 @@ func ParseFile(path string) (*File, error) {
 	return Parse(fh)
 }
 
+// appendFields splits s around runs of white space (as unicode.IsSpace
+// defines it, matching strings.Fields) into dst, which is returned. The
+// fields are substrings of s.
+func appendFields(dst []string, s string) []string {
+	start := -1
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		dst = append(dst, s[start:])
+	}
+	return dst
+}
+
+// cloneTail copies the Extra tail of a statement out of the reusable
+// field buffer; nil when there are no trailing tokens.
+func cloneTail(fields []string) []string {
+	if len(fields) == 0 {
+		return nil
+	}
+	return append([]string(nil), fields...)
+}
+
 func (f *File) addLine(raw string, lineNo int) error {
-	fields := strings.Fields(raw)
+	fields := appendFields(f.fieldsBuf[:0], raw)
+	f.fieldsBuf = fields
 	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
 		f.lines = append(f.lines, line{raw: raw})
 		return nil
@@ -115,7 +163,7 @@ func (f *File) addLine(raw string, lineNo int) error {
 			}
 		}
 		f.index[name] = len(f.Jobs)
-		f.Jobs = append(f.Jobs, Job{Name: name, SubmitFile: fields[2], Extra: fields[3:]})
+		f.Jobs = append(f.Jobs, Job{Name: name, SubmitFile: fields[2], Extra: cloneTail(fields[3:])})
 		f.lines = append(f.lines, line{raw: raw, kind: lineJob, jobIdx: len(f.Jobs) - 1})
 	case "PARENT":
 		childAt := -1
@@ -163,30 +211,31 @@ func (f *File) Job(name string) (Job, bool) {
 // order, one arc per PARENT/CHILD pair. Dependencies naming undeclared
 // jobs are errors; duplicate dependencies are tolerated (DAGMan accepts
 // them) and collapsed.
-func (f *File) Graph() (*dag.Graph, error) {
+func (f *File) Graph() (*dag.Frozen, error) {
 	if len(f.Splices) > 0 {
 		return nil, fmt.Errorf("dagman: file contains %d unresolved SPLICE statements; call Flatten first", len(f.Splices))
 	}
-	g := dag.NewWithCapacity(len(f.Jobs))
+	b := dag.NewWithCapacity(len(f.Jobs))
 	for _, j := range f.Jobs {
-		g.AddNode(j.Name)
+		b.AddNode(j.Name)
 	}
 	for _, d := range f.Deps {
-		u, v := g.IndexOf(d.Parent), g.IndexOf(d.Child)
+		u, v := b.IndexOf(d.Parent), b.IndexOf(d.Child)
 		if u < 0 {
 			return nil, fmt.Errorf("dagman: dependency names undeclared job %q", d.Parent)
 		}
 		if v < 0 {
 			return nil, fmt.Errorf("dagman: dependency names undeclared job %q", d.Child)
 		}
-		if g.HasArc(u, v) {
+		if b.HasArc(u, v) {
 			continue
 		}
-		if err := g.AddArc(u, v); err != nil {
+		if err := b.AddArc(u, v); err != nil {
 			return nil, fmt.Errorf("dagman: %w", err)
 		}
 	}
-	if _, err := g.TopoSort(); err != nil {
+	g, err := b.Freeze()
+	if err != nil {
 		return nil, fmt.Errorf("dagman: dependencies are cyclic: %w", err)
 	}
 	return g, nil
@@ -265,7 +314,7 @@ func (f *File) String() string {
 // node order, so parsing the result reproduces the node numbering) and
 // one PARENT/CHILD line per node with children. submitFile names each
 // job's JSDF; if nil, "<name>.sub" is used.
-func FromGraph(g *dag.Graph, submitFile func(name string) string) *File {
+func FromGraph(g *dag.Frozen, submitFile func(name string) string) *File {
 	if submitFile == nil {
 		submitFile = func(name string) string { return name + ".sub" }
 	}
@@ -280,7 +329,7 @@ func FromGraph(g *dag.Graph, submitFile func(name string) string) *File {
 		}
 		fmt.Fprintf(&b, "Parent %s Child", g.Name(v))
 		for _, c := range children {
-			fmt.Fprintf(&b, " %s", g.Name(c))
+			fmt.Fprintf(&b, " %s", g.Name(int(c)))
 		}
 		b.WriteByte('\n')
 	}

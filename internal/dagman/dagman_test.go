@@ -218,10 +218,11 @@ func TestInstrumentUnknownJobAppended(t *testing.T) {
 }
 
 func TestFromGraphRoundTrip(t *testing.T) {
-	g := dag.New()
-	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
-	g.MustAddArc(a, b)
-	g.MustAddArc(a, c)
+	gb := dag.New()
+	a, b, c := gb.AddNode("a"), gb.AddNode("b"), gb.AddNode("c")
+	gb.MustAddArc(a, b)
+	gb.MustAddArc(a, c)
+	g := gb.MustFreeze()
 	f := FromGraph(g, nil)
 	if j, ok := f.Job("a"); !ok || j.SubmitFile != "a.sub" {
 		t.Fatalf("Job(a) = %+v", j)

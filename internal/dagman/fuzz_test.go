@@ -29,12 +29,11 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("round trip changed shape: %d/%d jobs, %d/%d deps",
 				len(file.Jobs), len(again.Jobs), len(file.Deps), len(again.Deps))
 		}
-		// Building the graph must never panic either (errors are fine).
+		// Building the graph must never panic either (errors are fine;
+		// Freeze validates acyclicity internally).
 		if len(file.Splices) == 0 {
-			if g, err := file.Graph(); err == nil {
-				if err := g.Validate(); err != nil {
-					t.Fatalf("accepted graph invalid: %v", err)
-				}
+			if g, err := file.Graph(); err == nil && g.NumNodes() != len(file.Jobs) {
+				t.Fatalf("graph has %d nodes for %d jobs", g.NumNodes(), len(file.Jobs))
 			}
 		}
 	})

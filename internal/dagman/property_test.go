@@ -11,7 +11,7 @@ import (
 	"repro/internal/rng"
 )
 
-func randomDag(r *rng.Source, n int, p float64) *dag.Graph {
+func randomDag(r *rng.Source, n int, p float64) *dag.Frozen {
 	g := dag.New()
 	for i := 0; i < n; i++ {
 		g.AddNode(fmt.Sprintf("job%d", i))
@@ -23,7 +23,7 @@ func randomDag(r *rng.Source, n int, p float64) *dag.Graph {
 			}
 		}
 	}
-	return g
+	return g.MustFreeze()
 }
 
 // Property: FromGraph -> String -> Parse -> Graph is the identity on

@@ -33,7 +33,7 @@ func (f *File) parseSplice(fields []string, raw string, lineNo int) error {
 			return fmt.Errorf("dagman: line %d: duplicate splice %q", lineNo, name)
 		}
 	}
-	f.Splices = append(f.Splices, Splice{Name: name, File: fields[2], Extra: fields[3:]})
+	f.Splices = append(f.Splices, Splice{Name: name, File: fields[2], Extra: cloneTail(fields[3:])})
 	f.lines = append(f.lines, line{raw: raw})
 	return nil
 }
@@ -104,10 +104,10 @@ func (f *File) flatten(load func(string) (*File, error), stack []string) (*File,
 		}
 		var info spliceInfo
 		for _, v := range g.Sources() {
-			info.sources = append(info.sources, prefix+g.Name(v))
+			info.sources = append(info.sources, prefix+g.Name(int(v)))
 		}
 		for _, v := range g.Sinks() {
-			info.sinks = append(info.sinks, prefix+g.Name(v))
+			info.sinks = append(info.sinks, prefix+g.Name(int(v)))
 		}
 		infos[sp.Name] = info
 	}

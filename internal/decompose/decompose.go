@@ -3,6 +3,7 @@ package decompose
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/dag"
 )
@@ -18,7 +19,7 @@ type Component struct {
 	Nodes []int
 	// Sub is the subgraph induced by Nodes on the shortcut-free dag;
 	// Orig maps Sub's node indices back to original ids.
-	Sub  *dag.Graph
+	Sub  *dag.Frozen
 	Orig []int
 	// NonSinkCount is the number of jobs of Sub that have children
 	// within Sub — the jobs that the component's schedule executes.
@@ -39,14 +40,14 @@ type Component struct {
 type Result struct {
 	// Reduced is the input dag with all shortcut arcs removed (Step 1);
 	// Shortcuts lists the removed arcs.
-	Reduced   *dag.Graph
+	Reduced   *dag.Frozen
 	Shortcuts []dag.Arc
 	// Components lists the detached components in detachment order.
 	Components []*Component
 	// Super is the superdag: node i is component i (named "Ci"); an arc
 	// Ci -> Cj records that a sink of Ci reappears in Cj, so Cj cannot
 	// start before Ci.
-	Super *dag.Graph
+	Super *dag.Frozen
 	// ScheduledIn[v] is the index of the component whose schedule
 	// executes job v, or -1 when v is a sink of the whole dag (executed
 	// in the final phase).
@@ -71,12 +72,12 @@ type Options struct {
 // Decompose runs Steps 1-2 of the heuristic on g with default options.
 //
 //prio:pure
-func Decompose(g *dag.Graph) *Result { return DecomposeOpts(g, Options{}) }
+func Decompose(g *dag.Frozen) *Result { return DecomposeOpts(g, Options{}) }
 
 // DecomposeOpts runs Steps 1-2 of the heuristic on g.
 //
 //prio:pure
-func DecomposeOpts(g *dag.Graph, opts Options) *Result {
+func DecomposeOpts(g *dag.Frozen, opts Options) *Result {
 	reduced, shortcuts := g.TransitiveReductionCached(opts.ReduceCache)
 	d := &decomposer{
 		g:        reduced,
@@ -84,10 +85,14 @@ func DecomposeOpts(g *dag.Graph, opts Options) *Result {
 		inAlive:  make([]int, reduced.NumNodes()),
 		outAlive: make([]int, reduced.NumNodes()),
 		owner:    make([]int, reduced.NumNodes()),
+		mark:     make([]int32, reduced.NumNodes()),
+		inBlock:  make([]bool, reduced.NumNodes()),
+		isSource: make([]bool, reduced.NumNodes()),
+		assigned: make([]bool, reduced.NumNodes()),
+		superB:   dag.New(),
 		result: &Result{
 			Reduced:     reduced,
 			Shortcuts:   shortcuts,
-			Super:       dag.New(),
 			ScheduledIn: make([]int, reduced.NumNodes()),
 		},
 		fastPath: !opts.DisableFastPath,
@@ -97,6 +102,7 @@ func DecomposeOpts(g *dag.Graph, opts Options) *Result {
 		d.inAlive[v] = reduced.InDegree(v)
 		d.outAlive[v] = reduced.OutDegree(v)
 		d.owner[v] = -1
+		d.mark[v] = -1
 		d.result.ScheduledIn[v] = -1
 	}
 	d.aliveCount = reduced.NumNodes()
@@ -105,13 +111,21 @@ func DecomposeOpts(g *dag.Graph, opts Options) *Result {
 }
 
 type decomposer struct {
-	g          *dag.Graph
+	g          *dag.Frozen
 	alive      []bool
-	inAlive    []int // number of alive parents
-	outAlive   []int // number of alive children
-	owner      []int // last component that contained the node, or -1
+	inAlive    []int   // number of alive parents
+	outAlive   []int   // number of alive children
+	owner      []int   // last component that contained the node, or -1
+	mark       []int32 // scratch: local index during inducedAlive, else -1
+	inBlock    []bool  // scratch: membership of the block being closed
+	isSource   []bool  // scratch: current-round sources (bipartiteBlocks)
+	assigned   []bool  // scratch: sources grouped this round (bipartiteBlocks)
+	nameBuf    []byte  // scratch: superdag node names ("C<i>")
+	blockBuf   []int   // scratch: nodes of the closure being attempted
+	srcsBuf    []int   // scratch: source queue of the closure being attempted
 	aliveCount int
 	fastPath   bool
+	superB     *dag.Builder // superdag under construction; frozen in run
 	result     *Result
 }
 
@@ -133,6 +147,7 @@ func (d *decomposer) run() {
 		d.detach(b, d.isBipartiteSet(b), false)
 	}
 	d.addDependencyArcs()
+	d.result.Super = d.superB.MustFreeze()
 }
 
 // addDependencyArcs completes the superdag with execution-order
@@ -144,11 +159,6 @@ func (d *decomposer) run() {
 // the child's. All such arcs point from an earlier-detached component to
 // a later one, so the superdag stays acyclic.
 func (d *decomposer) addDependencyArcs() {
-	super := d.result.Super
-	seen := make(map[dag.Arc]bool, super.NumArcs())
-	for _, a := range super.Arcs() {
-		seen[a] = true
-	}
 	for p := 0; p < d.g.NumNodes(); p++ {
 		a := d.result.ScheduledIn[p]
 		if a == -1 {
@@ -159,10 +169,8 @@ func (d *decomposer) addDependencyArcs() {
 			if b == -1 || b == a {
 				continue
 			}
-			arc := dag.Arc{From: a, To: b}
-			if !seen[arc] {
-				seen[arc] = true
-				super.MustAddArc(a, b)
+			if !d.superB.HasArc(a, b) {
+				d.superB.MustAddArc(a, b)
 			}
 		}
 	}
@@ -179,9 +187,12 @@ func (d *decomposer) currentSources() []int {
 	return out
 }
 
-// block is a component-in-progress: a set of remnant nodes.
+// block is a component-in-progress: a set of remnant nodes. nodes is in
+// discovery order; membership during construction is tracked in the
+// decomposer's inBlock scratch (cleared before the block is handed on),
+// so building a block costs one slice instead of a hash map.
 type block struct {
-	nodes   map[int]bool
+	nodes   []int
 	minNode int // smallest source id, for deterministic ordering
 }
 
@@ -191,41 +202,45 @@ type block struct {
 // closure touches an interior (non-source) parent are left for the
 // general path. Isolated sources form trivial single-node blocks.
 func (d *decomposer) bipartiteBlocks(sources []int) []*block {
-	isSource := make(map[int]bool, len(sources))
 	for _, s := range sources {
-		isSource[s] = true
+		d.isSource[s] = true
 	}
-	assigned := make(map[int]bool, len(sources)) // sources already grouped
 	var blocks []*block
 	for _, s := range sources {
-		if assigned[s] {
+		if d.assigned[s] {
 			continue
 		}
-		b := &block{nodes: map[int]bool{s: true}, minNode: s}
-		srcs := []int{s}
+		// The closure grows in reusable scratch and is copied out only
+		// when it succeeds, so failed attempts cost no allocations.
+		buf := append(d.blockBuf[:0], s)
+		srcs := append(d.srcsBuf[:0], s)
+		minNode := s
+		d.inBlock[s] = true
 		ok := true
 		for i := 0; i < len(srcs); i++ {
 			u := srcs[i]
 			for _, c := range d.g.Children(u) {
-				if !d.alive[c] || b.nodes[c] {
+				if !d.alive[c] || d.inBlock[c] {
 					continue
 				}
 				// every alive parent of the sink must be a current source
-				for _, p := range d.g.Parents(c) {
-					if d.alive[p] && !isSource[p] {
+				for _, p := range d.g.Parents(int(c)) {
+					if d.alive[p] && !d.isSource[p] {
 						ok = false
 					}
 				}
 				if !ok {
 					break
 				}
-				b.nodes[c] = true
-				for _, p := range d.g.Parents(c) {
-					if d.alive[p] && !b.nodes[p] {
-						b.nodes[p] = true
-						srcs = append(srcs, p)
-						if p < b.minNode {
-							b.minNode = p
+				d.inBlock[c] = true
+				buf = append(buf, int(c))
+				for _, p := range d.g.Parents(int(c)) {
+					if d.alive[p] && !d.inBlock[p] {
+						d.inBlock[p] = true
+						buf = append(buf, int(p))
+						srcs = append(srcs, int(p))
+						if int(p) < minNode {
+							minNode = int(p)
 						}
 					}
 				}
@@ -238,11 +253,21 @@ func (d *decomposer) bipartiteBlocks(sources []int) []*block {
 		// round, whether or not the block is valid: a failed closure
 		// poisons all sources connected through it.
 		for _, u := range srcs {
-			assigned[u] = true
+			d.assigned[u] = true
 		}
+		for _, v := range buf {
+			d.inBlock[v] = false
+		}
+		d.blockBuf, d.srcsBuf = buf, srcs
 		if ok {
-			blocks = append(blocks, b)
+			nodes := make([]int, len(buf))
+			copy(nodes, buf)
+			blocks = append(blocks, &block{nodes: nodes, minNode: minNode})
 		}
+	}
+	for _, s := range sources {
+		d.isSource[s] = false
+		d.assigned[s] = false
 	}
 	sort.Slice(blocks, func(i, j int) bool { return blocks[i].minNode < blocks[j].minNode })
 	return blocks
@@ -268,7 +293,8 @@ func (d *decomposer) minimalClosure(sources []int) *block {
 // {s}; children of S-jobs join T; parents of T-jobs join T; T-jobs that
 // are sources of the remnant move to S; repeat to fixpoint.
 func (d *decomposer) closure(s int) *block {
-	b := &block{nodes: map[int]bool{s: true}, minNode: s}
+	b := &block{nodes: []int{s}, minNode: s}
+	d.inBlock[s] = true
 	srcQueue := []int{s} // S jobs whose children still need expanding
 	tQueue := []int{}    // T jobs whose parents still need expanding
 	for len(srcQueue) > 0 || len(tQueue) > 0 {
@@ -276,9 +302,10 @@ func (d *decomposer) closure(s int) *block {
 			u := srcQueue[len(srcQueue)-1]
 			srcQueue = srcQueue[:len(srcQueue)-1]
 			for _, c := range d.g.Children(u) {
-				if d.alive[c] && !b.nodes[c] {
-					b.nodes[c] = true
-					tQueue = append(tQueue, c)
+				if d.alive[c] && !d.inBlock[c] {
+					d.inBlock[c] = true
+					b.nodes = append(b.nodes, int(c))
+					tQueue = append(tQueue, int(c))
 				}
 			}
 			continue
@@ -293,11 +320,15 @@ func (d *decomposer) closure(s int) *block {
 			srcQueue = append(srcQueue, t)
 		}
 		for _, p := range d.g.Parents(t) {
-			if d.alive[p] && !b.nodes[p] {
-				b.nodes[p] = true
-				tQueue = append(tQueue, p)
+			if d.alive[p] && !d.inBlock[p] {
+				d.inBlock[p] = true
+				b.nodes = append(b.nodes, int(p))
+				tQueue = append(tQueue, int(p))
 			}
 		}
+	}
+	for _, v := range b.nodes {
+		d.inBlock[v] = false
 	}
 	return b
 }
@@ -308,10 +339,18 @@ func (d *decomposer) isBipartiteSet(b *block) bool {
 	if b == nil {
 		return false
 	}
-	for v := range b.nodes {
+	for _, v := range b.nodes {
+		d.inBlock[v] = true
+	}
+	defer func() {
+		for _, v := range b.nodes {
+			d.inBlock[v] = false
+		}
+	}()
+	for _, v := range b.nodes {
 		hasChildIn := false
 		for _, c := range d.g.Children(v) {
-			if d.alive[c] && b.nodes[c] {
+			if d.alive[c] && d.inBlock[c] {
 				hasChildIn = true
 				break
 			}
@@ -330,10 +369,9 @@ func (d *decomposer) isBipartiteSet(b *block) bool {
 // records superdag arcs from prior owners, and removes the component's
 // non-sinks plus those of its sinks that are sinks of the whole dag.
 func (d *decomposer) detach(b *block, bipartite, fastPath bool) {
-	nodes := make([]int, 0, len(b.nodes))
-	for v := range b.nodes {
-		nodes = append(nodes, v)
-	}
+	// The block is dead after detachment, so its node list is sorted in
+	// place and adopted as the component's, with no copy.
+	nodes := b.nodes
 	sort.Ints(nodes)
 
 	sub, orig := d.inducedAlive(nodes)
@@ -345,15 +383,17 @@ func (d *decomposer) detach(b *block, bipartite, fastPath bool) {
 		Bipartite: bipartite,
 		FastPath:  fastPath,
 	}
-	superNode := d.result.Super.AddNode(fmt.Sprintf("C%d", comp.Index))
+	d.nameBuf = append(d.nameBuf[:0], 'C')
+	d.nameBuf = strconv.AppendInt(d.nameBuf, int64(comp.Index), 10)
+	superNode := d.superB.AddNode(string(d.nameBuf))
 	if superNode != comp.Index {
 		panic("decompose: superdag node/component index mismatch")
 	}
 
 	for _, v := range nodes {
 		if prev := d.owner[v]; prev != -1 && prev != comp.Index {
-			if !d.result.Super.HasArc(prev, comp.Index) {
-				d.result.Super.MustAddArc(prev, comp.Index)
+			if !d.superB.HasArc(prev, comp.Index) {
+				d.superB.MustAddArc(prev, comp.Index)
 			}
 		}
 		d.owner[v] = comp.Index
@@ -375,23 +415,57 @@ func (d *decomposer) detach(b *block, bipartite, fastPath bool) {
 }
 
 // inducedAlive builds the subgraph induced by nodes, keeping only arcs
-// whose both endpoints are alive members of the set.
-func (d *decomposer) inducedAlive(nodes []int) (*dag.Graph, []int) {
-	sub := dag.NewWithCapacity(len(nodes))
-	toNew := make(map[int]int, len(nodes))
-	orig := make([]int, 0, len(nodes))
-	for _, v := range nodes {
-		toNew[v] = sub.AddNode(d.g.Name(v))
-		orig = append(orig, v)
+// whose both endpoints are alive members of the set. The subgraph is
+// assembled directly in CSR form — names are shared with the reduced
+// dag and the only per-component allocations are the frozen arrays
+// themselves (the membership scratch is reused across components).
+func (d *decomposer) inducedAlive(nodes []int) (*dag.Frozen, []int) {
+	n := len(nodes)
+	for i, v := range nodes {
+		d.mark[v] = int32(i)
 	}
-	for _, u := range nodes {
-		for _, c := range d.g.Children(u) {
-			if nv, ok := toNew[c]; ok && d.alive[c] {
-				sub.MustAddArc(toNew[u], nv)
+	names := make([]string, n)
+	var m int32
+	for _, v := range nodes {
+		for _, c := range d.g.Children(v) {
+			if d.alive[c] && d.mark[c] >= 0 {
+				m++
 			}
 		}
 	}
-	return sub, orig
+	// childStart and the arena share one backing array: FromCSR takes
+	// ownership of both anyway, and a single allocation per component is
+	// measurably cheaper on dags that decompose into tens of thousands
+	// of tiny components.
+	backing := make([]int32, int32(n+1)+2*m)
+	childStart, arena := backing[:n+1], backing[n+1:]
+	m = 0
+	for i, v := range nodes {
+		names[i] = d.g.Name(v)
+		for _, c := range d.g.Children(v) {
+			if d.alive[c] && d.mark[c] >= 0 {
+				m++
+			}
+		}
+		childStart[i+1] = m
+	}
+	for i, v := range nodes {
+		next := childStart[i]
+		for _, c := range d.g.Children(v) {
+			if d.alive[c] && d.mark[c] >= 0 {
+				arena[next] = d.mark[c]
+				next++
+			}
+		}
+	}
+	for _, v := range nodes {
+		d.mark[v] = -1
+	}
+	sub, err := dag.FromCSR(names, childStart, arena)
+	if err != nil {
+		panic(err) // unreachable: an induced subgraph of a dag is a dag
+	}
+	return sub, nodes
 }
 
 func (d *decomposer) remove(v int) {

@@ -16,6 +16,12 @@
 // Options.DisableFastPath forces the general path for the ablation
 // benchmarks.
 //
+// Component subgraphs are assembled directly in the dag core's CSR
+// form (dag.FromCSR) with names shared with the reduced dag, and the
+// closure search runs on reusable scratch, so decomposing a dag into
+// tens of thousands of components costs a small constant number of
+// allocations per component.
+//
 // Step 1's transitive reduction can be memoized across pipeline stages
 // by supplying Options.ReduceCache (see dag.ReduceCache); core.Options
 // threads the cache embedded in a core.Cache through automatically.

@@ -9,12 +9,13 @@ import (
 
 func ExampleIsICOptimal() {
 	// Fig. 3: the c-first order is IC-optimal, the FIFO order is not.
-	g := dag.New()
-	a, b := g.AddNode("a"), g.AddNode("b")
-	c, d, e := g.AddNode("c"), g.AddNode("d"), g.AddNode("e")
-	g.MustAddArc(a, b)
-	g.MustAddArc(c, d)
-	g.MustAddArc(c, e)
+	gb := dag.New()
+	a, b := gb.AddNode("a"), gb.AddNode("b")
+	c, d, e := gb.AddNode("c"), gb.AddNode("d"), gb.AddNode("e")
+	gb.MustAddArc(a, b)
+	gb.MustAddArc(c, d)
+	gb.MustAddArc(c, e)
+	g := gb.MustFreeze()
 
 	ok, _, _ := icopt.IsICOptimal(g, []int{c, a, b, d, e})
 	fmt.Println("PRIO order optimal:", ok)

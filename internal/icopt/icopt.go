@@ -27,7 +27,7 @@ const MaxNodes = 24
 // than MaxNodes.
 //
 //prio:pure
-func OptimalTrace(g *dag.Graph) ([]int, error) {
+func OptimalTrace(g *dag.Frozen) ([]int, error) {
 	n := g.NumNodes()
 	if n > MaxNodes {
 		return nil, fmt.Errorf("icopt: dag has %d jobs, exhaustive bound is %d", n, MaxNodes)
@@ -75,7 +75,7 @@ func OptimalTrace(g *dag.Graph) ([]int, error) {
 // MaxNodes.
 //
 //prio:pure
-func IsICOptimal(g *dag.Graph, order []int) (bool, int, error) {
+func IsICOptimal(g *dag.Frozen, order []int) (bool, int, error) {
 	if len(order) != g.NumNodes() {
 		return false, -1, fmt.Errorf("icopt: order has %d jobs, dag has %d", len(order), g.NumNodes())
 	}
@@ -103,7 +103,7 @@ func IsICOptimal(g *dag.Graph, order []int) (bool, int, error) {
 // motivating limitation.)
 //
 //prio:pure
-func AdmitsICOptimalSchedule(g *dag.Graph) (bool, error) {
+func AdmitsICOptimalSchedule(g *dag.Frozen) (bool, error) {
 	n := g.NumNodes()
 	if n > MaxNodes {
 		return false, fmt.Errorf("icopt: dag has %d jobs, exhaustive bound is %d", n, MaxNodes)
@@ -154,7 +154,7 @@ func AdmitsICOptimalSchedule(g *dag.Graph) (bool, error) {
 
 // eligibilityTrace mirrors core.EligibilityTrace without importing core
 // (core's tests import this package).
-func eligibilityTrace(g *dag.Graph, order []int) ([]int, error) {
+func eligibilityTrace(g *dag.Frozen, order []int) ([]int, error) {
 	n := g.NumNodes()
 	remaining := make([]int, n)
 	executed := make([]bool, n)

@@ -9,7 +9,7 @@ import (
 	"repro/internal/rng"
 )
 
-func buildChain(n int) *dag.Graph {
+func buildChain(n int) *dag.Frozen {
 	g := dag.New()
 	for i := 0; i < n; i++ {
 		g.AddNode(fmt.Sprintf("v%d", i))
@@ -17,7 +17,7 @@ func buildChain(n int) *dag.Graph {
 			g.MustAddArc(i-1, i)
 		}
 	}
-	return g
+	return g.MustFreeze()
 }
 
 func TestOptimalTraceChain(t *testing.T) {
@@ -35,12 +35,12 @@ func TestOptimalTraceChain(t *testing.T) {
 }
 
 func TestOptimalTraceFork(t *testing.T) {
-	g := dag.New()
-	s := g.AddNode("s")
+	b := dag.New()
+	s := b.AddNode("s")
 	for i := 0; i < 3; i++ {
-		g.MustAddArc(s, g.AddNode(fmt.Sprintf("c%d", i)))
+		b.MustAddArc(s, b.AddNode(fmt.Sprintf("c%d", i)))
 	}
-	env, err := OptimalTrace(g)
+	env, err := OptimalTrace(b.MustFreeze())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +62,12 @@ func TestIsICOptimal(t *testing.T) {
 	// Fig. 3 dag: c,a,b,d,e is IC-optimal; a,c,b,d,e is not (at t=1,
 	// executing a leaves eligible {b,c} = 2, but executing c gives
 	// {a,d,e} = 3).
-	g := dag.New()
-	a, b, c, d, e := g.AddNode("a"), g.AddNode("b"), g.AddNode("c"), g.AddNode("d"), g.AddNode("e")
-	g.MustAddArc(a, b)
-	g.MustAddArc(c, d)
-	g.MustAddArc(c, e)
+	gb := dag.New()
+	a, b, c, d, e := gb.AddNode("a"), gb.AddNode("b"), gb.AddNode("c"), gb.AddNode("d"), gb.AddNode("e")
+	gb.MustAddArc(a, b)
+	gb.MustAddArc(c, d)
+	gb.MustAddArc(c, e)
+	g := gb.MustFreeze()
 	ok, at, err := IsICOptimal(g, []int{c, a, b, d, e})
 	if err != nil || !ok {
 		t.Fatalf("PRIO order not optimal: ok=%v at=%d err=%v", ok, at, err)
@@ -88,7 +89,7 @@ func TestIsICOptimalErrors(t *testing.T) {
 }
 
 func TestBuildingBlocksAdmitOptimal(t *testing.T) {
-	for name, g := range map[string]*dag.Graph{
+	for name, g := range map[string]*dag.Frozen{
 		"W(3,2)":   bipartite.NewW(3, 2),
 		"M(2,3)":   bipartite.NewM(2, 3),
 		"N(4)":     bipartite.NewN(4),
@@ -113,17 +114,18 @@ func TestSomeDagPrecludesOptimal(t *testing.T) {
 	r := rng.New(2026)
 	for trial := 0; trial < 4000; trial++ {
 		n := 4 + r.Intn(5)
-		g := dag.New()
+		b := dag.New()
 		for i := 0; i < n; i++ {
-			g.AddNode(fmt.Sprintf("n%d", i))
+			b.AddNode(fmt.Sprintf("n%d", i))
 		}
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				if r.Float64() < 0.35 {
-					g.MustAddArc(i, j)
+					b.MustAddArc(i, j)
 				}
 			}
 		}
+		g := b.MustFreeze()
 		ok, err := AdmitsICOptimalSchedule(g)
 		if err != nil {
 			t.Fatal(err)
@@ -145,17 +147,18 @@ func TestAdmitsMatchesGreedyConstruction(t *testing.T) {
 	r := rng.New(77)
 	for trial := 0; trial < 200; trial++ {
 		n := 3 + r.Intn(6)
-		g := dag.New()
+		b := dag.New()
 		for i := 0; i < n; i++ {
-			g.AddNode(fmt.Sprintf("n%d", i))
+			b.AddNode(fmt.Sprintf("n%d", i))
 		}
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				if r.Float64() < 0.3 {
-					g.MustAddArc(i, j)
+					b.MustAddArc(i, j)
 				}
 			}
 		}
+		g := b.MustFreeze()
 		admits, err := AdmitsICOptimalSchedule(g)
 		if err != nil {
 			t.Fatal(err)
@@ -170,7 +173,7 @@ func TestAdmitsMatchesGreedyConstruction(t *testing.T) {
 
 // searchOptimalSchedule tries to build an IC-optimal schedule by
 // backtracking over envelope-achieving extensions.
-func searchOptimalSchedule(t *testing.T, g *dag.Graph) bool {
+func searchOptimalSchedule(t *testing.T, g *dag.Frozen) bool {
 	t.Helper()
 	env, err := OptimalTrace(g)
 	if err != nil {

@@ -35,7 +35,10 @@
 // core.Options through, so the simulators inherit -parallel / -cache
 // behavior from cmd/dagsim; the simulation itself is bit-identical
 // either way, since the parallel pipeline is differentially tested to
-// produce the sequential order.
+// produce the sequential order. Simulated dags arrive as *dag.Frozen
+// values; the replication kernel's hot loop walks the Frozen's CSR
+// arc arena directly (dag.Frozen.ChildCSR), so the simulator carries
+// no private copy of the graph.
 //
 // # Invariants
 //

@@ -50,7 +50,7 @@ type gridBlock struct {
 // each point in index order (point i is reported only after points
 // 0..i-1), from a worker goroutine; it must not call back into the
 // engine.
-func CompareGrid(g *dag.Graph, points []Params, a, b func() Policy, opts ExperimentOptions, progress func(int, Comparison)) []Comparison {
+func CompareGrid(g *dag.Frozen, points []Params, a, b func() Policy, opts ExperimentOptions, progress func(int, Comparison)) []Comparison {
 	opts = opts.normalized()
 	for _, p := range points {
 		if err := p.validate(); err != nil {

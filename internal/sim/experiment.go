@@ -93,7 +93,7 @@ func assembleMeasurements(name string, execT, stall, util []float64, opts Experi
 // the executable specification of the seed-derivation contract — the
 // differential tests pin CompareGrid's output to it bit-for-bit — and
 // is not used by the production drivers.
-func measureReference(g *dag.Graph, p Params, pol func() Policy, opts ExperimentOptions, seedStream *rng.Source) PolicyMeasurements {
+func measureReference(g *dag.Frozen, p Params, pol func() Policy, opts ExperimentOptions, seedStream *rng.Source) PolicyMeasurements {
 	total := opts.P * opts.Q
 	seeds := make([]uint64, total)
 	for i := range seeds {
@@ -134,7 +134,7 @@ func measureReference(g *dag.Graph, p Params, pol func() Policy, opts Experiment
 // compareReference is the pre-engine Compare: one point, each policy
 // measured by measureReference in sequence. Differential tests compare
 // it against the engine.
-func compareReference(g *dag.Graph, p Params, a, b func() Policy, opts ExperimentOptions) Comparison {
+func compareReference(g *dag.Frozen, p Params, a, b func() Policy, opts ExperimentOptions) Comparison {
 	opts = opts.normalized()
 	if err := p.validate(); err != nil {
 		panic(err)
@@ -164,13 +164,13 @@ func compareReference(g *dag.Graph, p Params, a, b func() Policy, opts Experimen
 // constructed per worker via the factories, since Policy implementations
 // are stateful and not safe for concurrent use. Compare is CompareGrid
 // on a single point.
-func Compare(g *dag.Graph, p Params, a, b func() Policy, opts ExperimentOptions) Comparison {
+func Compare(g *dag.Frozen, p Params, a, b func() Policy, opts ExperimentOptions) Comparison {
 	return CompareGrid(g, []Params{p}, a, b, opts, nil)[0]
 }
 
 // ComparePRIOFIFO is the paper's headline comparison at one parameter
 // point: the PRIO schedule (computed once) against FIFO.
-func ComparePRIOFIFO(g *dag.Graph, p Params, opts ExperimentOptions) Comparison {
+func ComparePRIOFIFO(g *dag.Frozen, p Params, opts ExperimentOptions) Comparison {
 	prio := NewPRIO(g) // compute the schedule once; clone per worker
 	order := append([]int(nil), prio.order...)
 	return Compare(g, p,
@@ -190,7 +190,7 @@ type GridPoint struct {
 // seven mu_BIT sections, mu_BS rising within each). The whole grid is
 // one flat parallel workload (see CompareGrid); progress still fires
 // once per point, in row-major order, as points complete.
-func Sweep(g *dag.Graph, muBITs, muBSs []float64, opts ExperimentOptions, progress func(GridPoint)) []GridPoint {
+func Sweep(g *dag.Frozen, muBITs, muBSs []float64, opts ExperimentOptions, progress func(GridPoint)) []GridPoint {
 	prio := NewPRIO(g)
 	order := append([]int(nil), prio.order...)
 

@@ -38,7 +38,7 @@ func NewRandom() *Random { return &Random{} }
 func (r *Random) Name() string { return "RANDOM" }
 
 // Start implements Policy.
-func (r *Random) Start(g *dag.Graph, src *rng.Source) {
+func (r *Random) Start(g *dag.Frozen, src *rng.Source) {
 	r.src = src
 	r.eligible = r.eligible[:0]
 }
@@ -62,7 +62,7 @@ func (r *Random) Next() (int, bool) {
 // NewCriticalPath builds the highest-level-first oblivious policy: jobs
 // are prioritized by the length of the longest path from them to a sink
 // (descending, ties by index), the textbook critical-path heuristic.
-func NewCriticalPath(g *dag.Graph) *Oblivious {
+func NewCriticalPath(g *dag.Frozen) *Oblivious {
 	return NewOblivious("CRITPATH", criticalPathOrder(g))
 }
 
@@ -115,7 +115,7 @@ func NewTwoLevel(order []int, maxJobs int) *TwoLevel {
 
 // NewTwoLevelPRIO builds the two-queue policy around the prio schedule
 // of g.
-func NewTwoLevelPRIO(g *dag.Graph, maxJobs int) *TwoLevel {
+func NewTwoLevelPRIO(g *dag.Frozen, maxJobs int) *TwoLevel {
 	return NewTwoLevel(core.Prioritize(g).Order, maxJobs)
 }
 
@@ -125,7 +125,7 @@ func (t *TwoLevel) Name() string { return t.name }
 // Start implements Policy. Like Oblivious.Start it resets in place:
 // the rank table is derived once from the immutable order and both
 // queues keep their backing arrays across replications.
-func (t *TwoLevel) Start(g *dag.Graph, _ *rng.Source) {
+func (t *TwoLevel) Start(g *dag.Frozen, _ *rng.Source) {
 	if len(t.order) != g.NumNodes() {
 		panic(fmt.Sprintf("sim: order covers %d jobs, dag has %d", len(t.order), g.NumNodes()))
 	}

@@ -55,14 +55,14 @@ func TestCriticalPathOrdersByHeight(t *testing.T) {
 	}
 }
 
-func build3chainPlusIso(t *testing.T) *dag.Graph {
+func build3chainPlusIso(t *testing.T) *dag.Frozen {
 	t.Helper()
-	g := dag.New()
-	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
-	g.AddNode("d")
-	g.MustAddArc(a, b)
-	g.MustAddArc(b, c)
-	return g
+	gb := dag.New()
+	a, b, c := gb.AddNode("a"), gb.AddNode("b"), gb.AddNode("c")
+	gb.AddNode("d")
+	gb.MustAddArc(a, b)
+	gb.MustAddArc(b, c)
+	return gb.MustFreeze()
 }
 
 func TestCriticalPathRunsToCompletion(t *testing.T) {

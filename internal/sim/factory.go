@@ -18,7 +18,7 @@ import (
 //	random          uniformly random eligible job
 //	critpath        highest-level-first (classic critical path)
 //	prio-maxjobs=N  PRIO behind the Section 3.2 two-queue throttle
-func PolicyFactory(name string, g *dag.Graph) (func() Policy, error) {
+func PolicyFactory(name string, g *dag.Frozen) (func() Policy, error) {
 	return PolicyFactoryOpts(name, g, core.Options{})
 }
 
@@ -27,7 +27,7 @@ func PolicyFactory(name string, g *dag.Graph) (func() Policy, error) {
 // parallel Recurse phase and the schedule cache (dagsim -parallel
 // -cache). Schedules are computed once per factory, up front; the
 // returned constructors never run the pipeline again.
-func PolicyFactoryOpts(name string, g *dag.Graph, opts core.Options) (func() Policy, error) {
+func PolicyFactoryOpts(name string, g *dag.Frozen, opts core.Options) (func() Policy, error) {
 	switch {
 	case name == "prio":
 		order := core.PrioritizeOpts(g, opts).Order
@@ -55,7 +55,7 @@ func PolicyFactoryOpts(name string, g *dag.Graph, opts core.Options) (func() Pol
 
 // criticalPathOrder exposes the order used by NewCriticalPath so the
 // factory can capture it once per sweep.
-func criticalPathOrder(g *dag.Graph) []int {
+func criticalPathOrder(g *dag.Frozen) []int {
 	height, _ := g.Reverse().Levels()
 	order := make([]int, g.NumNodes())
 	for i := range order {

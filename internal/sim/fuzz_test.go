@@ -56,7 +56,7 @@ func FuzzKernelReplication(f *testing.F) {
 // strictly-upper-triangular adjacency matrix row by row, so every
 // decoded graph is acyclic by construction and every small dag shape is
 // reachable.
-func fuzzDag(edges []byte) *dag.Graph {
+func fuzzDag(edges []byte) *dag.Frozen {
 	n := 1
 	if len(edges) > 0 {
 		n = 1 + int(edges[0]%8)
@@ -75,5 +75,5 @@ func fuzzDag(edges []byte) *dag.Graph {
 			bit++
 		}
 	}
-	return g
+	return g.MustFreeze()
 }

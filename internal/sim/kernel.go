@@ -12,10 +12,11 @@
 //     event and pay O(log w) dependent cache misses per sift at
 //     fan-out w — tens of thousands of in-flight jobs on the paper's
 //     SDSS dag;
-//   - the dag's adjacency is flattened once per Runner into a CSR
-//     layout (topo) with int32 indices, so the per-completion child
-//     walk reads one contiguous array instead of chasing per-node
-//     slices, and the remaining-parents counters reset with a copy;
+//   - the per-completion child walk reads the dag.Frozen's CSR arena
+//     directly (ChildCSR: one contiguous int32 array with absolute
+//     start offsets), so the kernel needs no adjacency flattening of
+//     its own and the remaining-parents counters reset from the
+//     precomputed indegrees;
 //   - the random source is reseeded in place (rng.Source.Reseed)
 //     rather than constructed per replication;
 //   - policies reset in place in Start, keeping their eligible sets in
@@ -302,58 +303,15 @@ func (q *eventQueue) pop() (float64, int32) {
 	return ev.at, ev.job
 }
 
-// topo is the dag flattened for the kernel: children in CSR form,
-// in-degrees, and the source nodes (in index order), all with int32
-// indices to halve the memory traffic of the hot child walk.
-type topo struct {
-	g          *dag.Graph // the graph this layout was built from
-	childStart []int32    // len n+1; children of v are children[childStart[v]:childStart[v+1]]
-	children   []int32
-	indeg      []int32
-	sources    []int32
-}
-
-// init (re)builds the layout for g, reusing buffers when possible. The
-// graph must not be mutated while a runState built from it is in use.
-//
-//prio:noalloc
-func (t *topo) init(g *dag.Graph) {
-	if t.g == g {
-		return
-	}
-	n := g.NumNodes()
-	if cap(t.childStart) < n+1 {
-		t.childStart = make([]int32, n+1)
-	} else {
-		t.childStart = t.childStart[:n+1]
-	}
-	if cap(t.indeg) < n {
-		t.indeg = make([]int32, n)
-	} else {
-		t.indeg = t.indeg[:n]
-	}
-	t.children = t.children[:0]
-	t.sources = t.sources[:0]
-	for v := 0; v < n; v++ {
-		t.childStart[v] = int32(len(t.children))
-		for _, c := range g.Children(v) {
-			t.children = append(t.children, int32(c))
-		}
-		t.indeg[v] = int32(g.InDegree(v))
-		if t.indeg[v] == 0 {
-			t.sources = append(t.sources, int32(v))
-		}
-	}
-	t.childStart[n] = int32(len(t.children))
-	t.g = g
-}
-
 // runState is the reusable per-worker state of one replication: the
-// flattened dag, the remaining-parents counters, and the
-// completion-event heap. The zero value is ready to use; run grows the
-// buffers on first use and then only truncates them.
+// remaining-parents counters and the completion-event queue. The dag
+// needs no per-Runner flattening — the shared dag.Frozen CSR layout
+// (one int32 arc arena with absolute childStart offsets, precomputed
+// indegrees and sources) is exactly the array pair the hot child walk
+// wants, so the kernel borrows views of it directly. The zero value is
+// ready to use; run grows the buffers on first use and then only
+// truncates them.
 type runState struct {
-	topo      topo
 	remaining []int32
 	pending   eventQueue
 }
@@ -361,33 +319,32 @@ type runState struct {
 // reset prepares the state for a replication on g, reusing capacity.
 //
 //prio:noalloc
-func (st *runState) reset(g *dag.Graph, n int) {
-	st.topo.init(g)
+func (st *runState) reset(g *dag.Frozen, n int) {
 	if cap(st.remaining) < n {
 		st.remaining = make([]int32, n)
 	} else {
 		st.remaining = st.remaining[:n]
 	}
-	copy(st.remaining, st.topo.indeg)
+	for v := 0; v < n; v++ {
+		st.remaining[v] = int32(g.InDegree(v))
+	}
 	st.pending.reset()
 }
 
 // Runner owns the pooled state for repeated replications on one dag:
-// a runState (with the dag flattened once) and a random source reseeded
-// in place per run. In steady state (after buffer capacities and the
-// policy's internal state have grown to the dag's high-water mark) Run
-// performs zero heap allocations; the experiment engine keeps one
-// Runner per worker for the whole grid. A Runner is not safe for
-// concurrent use, and the dag must not be mutated while the Runner is
-// in use.
+// a runState and a random source reseeded in place per run. In steady
+// state (after buffer capacities and the policy's internal state have
+// grown to the dag's high-water mark) Run performs zero heap
+// allocations; the experiment engine keeps one Runner per worker for
+// the whole grid. A Runner is not safe for concurrent use.
 type Runner struct {
-	g   *dag.Graph
+	g   *dag.Frozen
 	st  runState
 	src *rng.Source
 }
 
 // NewRunner returns a Runner for repeated simulations of g.
-func NewRunner(g *dag.Graph) *Runner {
+func NewRunner(g *dag.Frozen) *Runner {
 	return &Runner{g: g, src: rng.New(0)}
 }
 
@@ -406,7 +363,7 @@ func (r *Runner) Run(p Params, pol Policy, seed uint64) Metrics {
 // Runner.Run. All mutable per-replication state lives in st, the
 // policy, and src; the kernel itself allocates nothing once st's
 // buffers have grown to the dag's high-water mark.
-func (st *runState) run(g *dag.Graph, p Params, pol Policy, src *rng.Source, obs Observer) Metrics {
+func (st *runState) run(g *dag.Frozen, p Params, pol Policy, src *rng.Source, obs Observer) Metrics {
 	if err := p.validate(); err != nil {
 		panic(err)
 	}
@@ -417,9 +374,9 @@ func (st *runState) run(g *dag.Graph, p Params, pol Policy, src *rng.Source, obs
 
 	st.reset(g, n)
 	remaining := st.remaining // unexecuted parents
-	childStart, children := st.topo.childStart, st.topo.children
+	childStart, children := g.ChildCSR()
 	pol.Start(g, src)
-	for _, v := range st.topo.sources {
+	for _, v := range g.Sources() {
 		pol.Eligible(int(v))
 	}
 

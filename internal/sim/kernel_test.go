@@ -201,25 +201,27 @@ func TestEventQueueOrdering(t *testing.T) {
 	}
 }
 
-// TestTopoLayout checks the CSR flattening against the Graph API.
-func TestTopoLayout(t *testing.T) {
+// TestKernelCSRViews checks the shared dag.Frozen CSR arrays the kernel
+// borrows (ChildCSR, Sources, the indegrees reset reads) against the
+// per-node accessors: the kernel no longer flattens the dag itself, so
+// this pins the layout contract it depends on.
+func TestKernelCSRViews(t *testing.T) {
 	g := workloads.AIRSN(10)
-	var tp topo
-	tp.init(g)
+	childStart, children := g.ChildCSR()
 	n := g.NumNodes()
+	if len(childStart) != n+1 {
+		t.Fatalf("childStart length %d, want %d", len(childStart), n+1)
+	}
 	for v := 0; v < n; v++ {
 		kids := g.Children(v)
-		lo, hi := tp.childStart[v], tp.childStart[v+1]
+		lo, hi := childStart[v], childStart[v+1]
 		if int(hi-lo) != len(kids) {
 			t.Fatalf("node %d: %d children in layout, want %d", v, hi-lo, len(kids))
 		}
 		for i, c := range kids {
-			if tp.children[lo+int32(i)] != int32(c) {
-				t.Fatalf("node %d child %d: layout %d, want %d", v, i, tp.children[lo+int32(i)], c)
+			if children[lo+int32(i)] != c {
+				t.Fatalf("node %d child %d: layout %d, want %d", v, i, children[lo+int32(i)], c)
 			}
-		}
-		if int(tp.indeg[v]) != g.InDegree(v) {
-			t.Fatalf("node %d indeg %d, want %d", v, tp.indeg[v], g.InDegree(v))
 		}
 	}
 	var sources []int32
@@ -228,25 +230,22 @@ func TestTopoLayout(t *testing.T) {
 			sources = append(sources, int32(v))
 		}
 	}
-	if len(sources) != len(tp.sources) {
-		t.Fatalf("sources %v, want %v", tp.sources, sources)
+	got := g.Sources()
+	if len(sources) != len(got) {
+		t.Fatalf("sources %v, want %v", got, sources)
 	}
 	for i := range sources {
-		if sources[i] != tp.sources[i] {
-			t.Fatalf("sources %v, want %v", tp.sources, sources)
+		if sources[i] != got[i] {
+			t.Fatalf("sources %v, want %v", got, sources)
 		}
 	}
-	// Re-init on the same graph is a no-op; on a different graph it
-	// rebuilds.
-	prev := tp.g
-	tp.init(g)
-	if tp.g != prev {
-		t.Fatal("re-init on same graph rebuilt")
-	}
-	g2 := workloads.AIRSN(20)
-	tp.init(g2)
-	if tp.g != g2 || len(tp.indeg) != g2.NumNodes() {
-		t.Fatal("init on new graph did not rebuild")
+	// reset fills remaining from the precomputed indegrees.
+	var st runState
+	st.reset(g, n)
+	for v := 0; v < n; v++ {
+		if int(st.remaining[v]) != g.InDegree(v) {
+			t.Fatalf("node %d remaining %d, want indegree %d", v, st.remaining[v], g.InDegree(v))
+		}
 	}
 }
 

@@ -82,7 +82,7 @@ type Policy interface {
 	// Start resets the policy for a fresh run on g. src is the run's
 	// random source; randomized policies draw from it so that equal run
 	// seeds give identical runs.
-	Start(g *dag.Graph, src *rng.Source)
+	Start(g *dag.Frozen, src *rng.Source)
 	// Eligible notifies the policy that job v became eligible.
 	Eligible(v int)
 	// Next returns the next job to assign and true, or false when no
@@ -113,7 +113,7 @@ type Metrics struct {
 // identical runs. Run allocates fresh event state per call; callers
 // replicating in a loop should use a Runner (see kernel.go), which is
 // allocation-free in steady state.
-func Run(g *dag.Graph, p Params, pol Policy, src *rng.Source) Metrics {
+func Run(g *dag.Frozen, p Params, pol Policy, src *rng.Source) Metrics {
 	var st runState
 	return st.run(g, p, pol, src, nil)
 }

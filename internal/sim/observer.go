@@ -21,7 +21,7 @@ type Observer interface {
 }
 
 // RunObserved is Run with an event observer (which may be nil).
-func RunObserved(g *dag.Graph, p Params, pol Policy, src *rng.Source, obs Observer) Metrics {
+func RunObserved(g *dag.Frozen, p Params, pol Policy, src *rng.Source, obs Observer) Metrics {
 	var st runState
 	return st.run(g, p, pol, src, obs)
 }

@@ -37,7 +37,7 @@ func NewOblivious(name string, order []int) *Oblivious {
 
 // NewPRIO builds the PRIO policy for g by running the full prio
 // heuristic pipeline.
-func NewPRIO(g *dag.Graph) *Oblivious {
+func NewPRIO(g *dag.Frozen) *Oblivious {
 	return NewOblivious("PRIO", core.Prioritize(g).Order)
 }
 
@@ -45,7 +45,7 @@ func NewPRIO(g *dag.Graph) *Oblivious {
 func (o *Oblivious) Name() string { return o.name }
 
 // Start implements Policy.
-func (o *Oblivious) Start(g *dag.Graph, _ *rng.Source) {
+func (o *Oblivious) Start(g *dag.Frozen, _ *rng.Source) {
 	if len(o.order) != g.NumNodes() {
 		panic(fmt.Sprintf("sim: order covers %d jobs, dag has %d", len(o.order), g.NumNodes()))
 	}
@@ -84,7 +84,7 @@ func NewFIFO() *FIFO { return &FIFO{} }
 func (f *FIFO) Name() string { return "FIFO" }
 
 // Start implements Policy.
-func (f *FIFO) Start(g *dag.Graph, _ *rng.Source) {
+func (f *FIFO) Start(g *dag.Frozen, _ *rng.Source) {
 	f.queue = f.queue[:0]
 	f.head = 0
 }

@@ -11,26 +11,26 @@ import (
 	"repro/internal/workloads"
 )
 
-func chainDag(n int) *dag.Graph {
-	g := dag.New()
+func chainDag(n int) *dag.Frozen {
+	b := dag.New()
 	for i := 0; i < n; i++ {
-		g.AddNode(fmt.Sprintf("v%d", i))
+		b.AddNode(fmt.Sprintf("v%d", i))
 		if i > 0 {
-			g.MustAddArc(i-1, i)
+			b.MustAddArc(i-1, i)
 		}
 	}
-	return g
+	return b.MustFreeze()
 }
 
-func independentDag(n int) *dag.Graph {
-	g := dag.New()
+func independentDag(n int) *dag.Frozen {
+	b := dag.New()
 	for i := 0; i < n; i++ {
-		g.AddNode(fmt.Sprintf("v%d", i))
+		b.AddNode(fmt.Sprintf("v%d", i))
 	}
-	return g
+	return b.MustFreeze()
 }
 
-func fifoRun(g *dag.Graph, p Params, seed uint64) Metrics {
+func fifoRun(g *dag.Frozen, p Params, seed uint64) Metrics {
 	return Run(g, p, NewFIFO(), rng.New(seed))
 }
 
@@ -49,7 +49,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestRunEmptyGraph(t *testing.T) {
-	m := Run(dag.New(), DefaultParams(1, 1), NewFIFO(), rng.New(1))
+	m := Run(dag.New().MustFreeze(), DefaultParams(1, 1), NewFIFO(), rng.New(1))
 	if m.ExecutionTime != 0 || m.Batches != 0 {
 		t.Fatalf("empty graph metrics = %+v", m)
 	}
@@ -316,7 +316,7 @@ type recordingPolicy struct {
 }
 
 func (r *recordingPolicy) Name() string { return "rec" }
-func (r *recordingPolicy) Start(g *dag.Graph, src *rng.Source) {
+func (r *recordingPolicy) Start(g *dag.Frozen, src *rng.Source) {
 	r.inner.Start(g, src)
 	r.assigned = nil
 }

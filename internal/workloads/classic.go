@@ -17,7 +17,7 @@ import (
 // Mesh builds the 2-dimensional evolving mesh of order n: nodes (i, j)
 // with 0 <= i, j < n and arcs (i,j) -> (i+1,j) and (i,j) -> (i,j+1).
 // n^2 jobs; the single source is (0,0).
-func Mesh(n int) *dag.Graph {
+func Mesh(n int) *dag.Frozen {
 	if n < 1 {
 		panic(fmt.Sprintf("workloads: Mesh order %d < 1", n))
 	}
@@ -38,13 +38,13 @@ func Mesh(n int) *dag.Graph {
 			}
 		}
 	}
-	return g
+	return g.MustFreeze()
 }
 
 // ReductionTree builds the complete binary in-tree of the given height:
 // 2^(h+1)-1 jobs, 2^h leaves (the sources), one root (the sink) — the
 // shape of parallel reductions.
-func ReductionTree(height int) *dag.Graph {
+func ReductionTree(height int) *dag.Frozen {
 	if height < 0 {
 		panic(fmt.Sprintf("workloads: ReductionTree height %d < 0", height))
 	}
@@ -63,20 +63,20 @@ func ReductionTree(height int) *dag.Graph {
 			g.MustAddArc(2*i+2, i)
 		}
 	}
-	return g
+	return g.MustFreeze()
 }
 
 // ExpansionTree builds the complete binary out-tree of the given
 // height — ReductionTree with every arc reversed (the shape of parallel
 // divides).
-func ExpansionTree(height int) *dag.Graph {
+func ExpansionTree(height int) *dag.Frozen {
 	return ReductionTree(height).Reverse()
 }
 
 // Butterfly builds the d-dimensional FFT/butterfly dag: d+1 ranks of
 // 2^d jobs; the job at (rank r, position p) feeds positions p and
 // p XOR 2^r at rank r+1. (d+1) * 2^d jobs.
-func Butterfly(d int) *dag.Graph {
+func Butterfly(d int) *dag.Frozen {
 	if d < 1 {
 		panic(fmt.Sprintf("workloads: Butterfly dimension %d < 1", d))
 	}
@@ -94,14 +94,14 @@ func Butterfly(d int) *dag.Graph {
 			g.MustAddArc(id(r, p), id(r+1, p^(1<<r)))
 		}
 	}
-	return g
+	return g.MustFreeze()
 }
 
 // Pyramid builds the 2-dimensional pyramid dag of the given height:
 // levels of (h+1-l)^2 jobs; the job at (l, i, j) is fed by the four
 // jobs (l-1, i..i+1, j..j+1) of the level below. The base is the
 // source level; the apex is the sink.
-func Pyramid(height int) *dag.Graph {
+func Pyramid(height int) *dag.Frozen {
 	if height < 0 {
 		panic(fmt.Sprintf("workloads: Pyramid height %d < 0", height))
 	}
@@ -129,7 +129,7 @@ func Pyramid(height int) *dag.Graph {
 			}
 		}
 	}
-	return g
+	return g.MustFreeze()
 }
 
 // Wavefront builds the n x n anti-diagonal wavefront (dynamic
@@ -137,7 +137,7 @@ func Pyramid(height int) *dag.Graph {
 // reverse orientation of Mesh, with the single source at (0,0) and the
 // single sink at (n-1,n-1). Provided separately because stencil
 // workloads name it this way; structurally it equals Mesh.
-func Wavefront(n int) *dag.Graph { return Mesh(n) }
+func Wavefront(n int) *dag.Frozen { return Mesh(n) }
 
 // ClassicNames lists the repertoire generators for harness loops.
 func ClassicNames() []string {
@@ -146,7 +146,7 @@ func ClassicNames() []string {
 
 // ClassicByName builds a repertoire dag by name at a small default size
 // scaled for simulation studies.
-func ClassicByName(name string) (*dag.Graph, error) {
+func ClassicByName(name string) (*dag.Frozen, error) {
 	switch name {
 	case "mesh":
 		return Mesh(24), nil

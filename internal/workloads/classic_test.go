@@ -57,9 +57,6 @@ func TestButterflyShape(t *testing.T) {
 	if len(g.Sources()) != 8 || len(g.Sinks()) != 8 {
 		t.Fatal("butterfly rank structure wrong")
 	}
-	if err := g.Validate(); err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestPyramidShape(t *testing.T) {
@@ -71,18 +68,12 @@ func TestPyramidShape(t *testing.T) {
 	if len(g.Sources()) != 9 || len(g.Sinks()) != 1 {
 		t.Fatalf("sources %d sinks %d", len(g.Sources()), len(g.Sinks()))
 	}
-	if err := g.Validate(); err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestClassicByName(t *testing.T) {
 	for _, name := range ClassicNames() {
 		g, err := ClassicByName(name)
 		if err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-		if err := g.Validate(); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		s := core.Prioritize(g)
@@ -125,7 +116,7 @@ func TestConstructorPanicsClassic(t *testing.T) {
 func TestHeuristicOptimalOnTheoryDags(t *testing.T) {
 	cases := []struct {
 		name          string
-		g             *dag.Graph
+		g             *dag.Frozen
 		expectOptimal bool
 	}{
 		{"mesh3", Mesh(3), true},

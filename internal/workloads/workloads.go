@@ -36,7 +36,7 @@ import (
 const AIRSNHandleLength = 21
 
 // AIRSN builds the fMRI dag of width w: 3w + 23 jobs.
-func AIRSN(w int) *dag.Graph {
+func AIRSN(w int) *dag.Frozen {
 	if w < 1 {
 		panic(fmt.Sprintf("workloads: AIRSN width %d < 1", w))
 	}
@@ -75,12 +75,12 @@ func AIRSN(w int) *dag.Graph {
 	for _, c := range cover2 {
 		g.MustAddArc(c, join2)
 	}
-	return g
+	return g.MustFreeze()
 }
 
 // AIRSNForkJob returns the index of the fork job (the black-framed
 // bottleneck of Fig. 5) in a graph built by AIRSN.
-func AIRSNForkJob(g *dag.Graph) int {
+func AIRSNForkJob(g *dag.Frozen) int {
 	return g.IndexOf(fmt.Sprintf("h%d", AIRSNHandleLength-1))
 }
 
@@ -100,7 +100,7 @@ func AIRSNForkJob(g *dag.Graph) int {
 // final coincidences into one non-bipartite component of 5s jobs, the
 // "over 1000 jobs" component the paper reports. A summary/report tail
 // closes the dag.
-func Inspiral(s int) *dag.Graph {
+func Inspiral(s int) *dag.Frozen {
 	if s < 2 {
 		panic(fmt.Sprintf("workloads: Inspiral segments %d < 2", s))
 	}
@@ -172,7 +172,7 @@ func Inspiral(s int) *dag.Graph {
 	g.MustAddArc(plots, upload)
 	archive := g.AddNode("archive")
 	g.MustAddArc(upload, archive)
-	return g
+	return g.MustFreeze()
 }
 
 // Montage builds the mosaic dag for a grid x grid field of images with
@@ -187,7 +187,7 @@ func Inspiral(s int) *dag.Graph {
 // fits; a background model follows; per-image background corrections
 // depend on the model and on the original projection; a table join, the
 // final add, a shrink, and a JPEG rendering close the dag.
-func Montage(grid, diag int) *dag.Graph {
+func Montage(grid, diag int) *dag.Frozen {
 	if grid < 2 {
 		panic(fmt.Sprintf("workloads: Montage grid %d < 2", grid))
 	}
@@ -282,7 +282,7 @@ func Montage(grid, diag int) *dag.Graph {
 	g.MustAddArc(add, shrink)
 	jpeg := g.AddNode("mJPEG")
 	g.MustAddArc(shrink, jpeg)
-	return g
+	return g.MustFreeze()
 }
 
 // SDSS builds the galaxy-cluster search dag over f sky fields grouped
@@ -302,7 +302,7 @@ func Montage(grid, diag int) *dag.Graph {
 // steps on brg jobs whose field matches they gate, while prio schedules
 // them first. Each field match feeds a cluster finder, a catalog joins
 // everything, and an archive/publish tail closes the dag.
-func SDSS(f, stripes int) *dag.Graph {
+func SDSS(f, stripes int) *dag.Frozen {
 	if stripes < 1 || f < stripes || f%stripes != 0 {
 		panic(fmt.Sprintf("workloads: SDSS fields %d must be a positive multiple of stripes %d", f, stripes))
 	}
@@ -345,28 +345,28 @@ func SDSS(f, stripes int) *dag.Graph {
 	g.MustAddArc(catalog, archive)
 	publish := g.AddNode("publish")
 	g.MustAddArc(archive, publish)
-	return g
+	return g.MustFreeze()
 }
 
 // Paper-scale constructors: the exact dags of Section 3.3.
 
 // PaperAIRSN returns the AIRSN dag of width 250 (773 jobs).
-func PaperAIRSN() *dag.Graph { return AIRSN(250) }
+func PaperAIRSN() *dag.Frozen { return AIRSN(250) }
 
 // PaperInspiral returns the Inspiral dag (2,988 jobs).
-func PaperInspiral() *dag.Graph { return Inspiral(229) }
+func PaperInspiral() *dag.Frozen { return Inspiral(229) }
 
 // PaperMontage returns the Montage dag (7,881 jobs).
-func PaperMontage() *dag.Graph { return Montage(36, 121) }
+func PaperMontage() *dag.Frozen { return Montage(36, 121) }
 
 // PaperSDSS returns the SDSS dag (48,013 jobs).
-func PaperSDSS() *dag.Graph { return SDSS(12000, 5) }
+func PaperSDSS() *dag.Frozen { return SDSS(12000, 5) }
 
 // ByName returns the paper dag with the given lowercase name, scaled by
 // the divisor (>= 1): scale 1 is paper scale; larger divisors shrink the
 // dag proportionally while preserving its shape. Used by the commands
 // and benchmarks.
-func ByName(name string, scale int) (*dag.Graph, error) {
+func ByName(name string, scale int) (*dag.Frozen, error) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -404,7 +404,7 @@ func isqrt(n int) int {
 // Layered builds a random layered dag for tests and benchmarks: layers
 // of the given width, arcs only between consecutive layers with
 // probability p, and every non-source guaranteed at least one parent.
-func Layered(r *rng.Source, layers, width int, p float64) *dag.Graph {
+func Layered(r *rng.Source, layers, width int, p float64) *dag.Frozen {
 	if layers < 1 || width < 1 {
 		panic("workloads: Layered needs at least one layer and one node")
 	}
@@ -430,7 +430,7 @@ func Layered(r *rng.Source, layers, width int, p float64) *dag.Graph {
 			}
 		}
 	}
-	return g
+	return g.MustFreeze()
 }
 
 // TileField builds a Montage-like multi-component dag for the parallel
@@ -444,7 +444,7 @@ func Layered(r *rng.Source, layers, width int, p float64) *dag.Graph {
 // structurally independent draws unless sharedShapes is true, in which
 // case every tile repeats the same shape and a core.Cache collapses the
 // Recurse phase to a single computation.
-func TileField(r *rng.Source, tiles, s, t, k int, sharedShapes bool) *dag.Graph {
+func TileField(r *rng.Source, tiles, s, t, k int, sharedShapes bool) *dag.Frozen {
 	if tiles < 1 || s < 1 || t < 1 || k < 2 {
 		panic("workloads: TileField needs tiles, s, t >= 1 and k >= 2")
 	}
@@ -480,7 +480,7 @@ func TileField(r *rng.Source, tiles, s, t, k int, sharedShapes bool) *dag.Graph 
 			}
 		}
 	}
-	return g
+	return g.MustFreeze()
 }
 
 func dist2(r, c int, centre float64) float64 {

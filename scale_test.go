@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/rng"
+	"repro/internal/workloads"
+)
+
+// TestMillionNodePrioritize is the scale gate for the frozen-CSR core:
+// Builder→Freeze→Prioritize must complete on synthetic million-node
+// dags within a per-node allocation budget. The budget is what makes
+// this a regression test rather than a smoke test — the pre-refactor
+// pipeline copied adjacency per pass ([][]int in reduce, decompose, and
+// the sim's private flattening), which costs several extra allocations
+// and hundreds of extra bytes per node; a reappearance of any such copy
+// blows the budget immediately.
+//
+// Two shapes cover the two extremes of the decomposition: a layered
+// random dag (few huge components, closure-heavy) and a shared-shape
+// TileField (tens of thousands of tiny identical components,
+// combine-heavy). Skipped under -short: the two runs take tens of
+// seconds at a million nodes.
+func TestMillionNodePrioritize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-node scale test skipped in -short mode")
+	}
+	for _, tc := range []struct {
+		name  string
+		build func() *dag.Frozen
+		// Prioritize-phase budgets, per node.
+		maxAllocs, maxBytes float64
+	}{
+		{
+			name:  "layered",
+			build: func() *dag.Frozen { return workloads.Layered(rng.New(7), 2000, 500, 3.0/500) },
+			// Measured ~1.9 allocs and ~710 B per node at introduction;
+			// budgeted with ~2x headroom.
+			maxAllocs: 4, maxBytes: 1500,
+		},
+		{
+			name:      "tilefield",
+			build:     func() *dag.Frozen { return workloads.TileField(rng.New(11), 20000, 20, 30, 6, true) },
+			maxAllocs: 8, maxBytes: 1500,
+		},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			start := time.Now()
+			g := tc.build()
+			buildTime := time.Since(start)
+			n := g.NumNodes()
+			if n < 1_000_000 {
+				t.Fatalf("generator produced %d nodes, want >= 1e6", n)
+			}
+
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start = time.Now()
+			s := core.Prioritize(g)
+			prioTime := time.Since(start)
+			runtime.ReadMemStats(&after)
+
+			allocsPerNode := float64(after.Mallocs-before.Mallocs) / float64(n)
+			bytesPerNode := float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+			t.Logf("n=%d m=%d build=%v prioritize=%v (%.2f allocs/node, %.0f B/node)",
+				n, g.NumArcs(), buildTime, prioTime, allocsPerNode, bytesPerNode)
+
+			if len(s.Order) != n || len(s.Priority) != n {
+				t.Fatalf("schedule covers %d/%d of %d jobs", len(s.Order), len(s.Priority), n)
+			}
+			if err := core.ValidateExecutionOrder(g, s.Order); err != nil {
+				t.Fatalf("million-node schedule invalid: %v", err)
+			}
+			if allocsPerNode > tc.maxAllocs {
+				t.Errorf("Prioritize allocated %.2f objects/node, budget %.0f", allocsPerNode, tc.maxAllocs)
+			}
+			if bytesPerNode > tc.maxBytes {
+				t.Errorf("Prioritize allocated %.0f B/node, budget %.0f", bytesPerNode, tc.maxBytes)
+			}
+		})
+	}
+}
