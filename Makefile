@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint race cover bench bench-sim bench-sim-smoke bench-core bench-core-smoke fuzz fuzz-smoke sweeps examples clean
+.PHONY: all build test check lint race cover bench bench-sim bench-sim-smoke bench-core bench-core-smoke bench-serve bench-serve-smoke fuzz fuzz-smoke sweeps examples clean
 
 all: build test
 
@@ -79,6 +79,27 @@ bench-core:
 # strong as the full run and finishes in seconds.
 bench-core-smoke:
 	$(GO) test . -run xxx -bench 'BenchmarkParseSchedule' -benchtime 1x -benchmem | $(GO) run ./cmd/benchjson -assert-allocs-baseline results/core-bench-baseline.json
+
+# Serving-layer load benchmark: cmd/prioload drives 32 concurrent
+# clients posting the AIRSN/Inspiral/Montage dags over real HTTP at an
+# in-process priod server and reports mean/p50/p99 latency, throughput,
+# and server RSS per dag. Raw text lands in results/serve-bench.txt,
+# machine-readable BENCH_serve.json next to the other BENCH_*.json
+# artifacts. Methodology in EXPERIMENTS.md "The serving layer".
+bench-serve:
+	mkdir -p results
+	$(GO) run ./cmd/prioload -dags airsn,inspiral,montage -clients 32 -requests 32 -warmup 32 > results/serve-bench.txt
+	cat results/serve-bench.txt
+	$(GO) run ./cmd/benchjson -o BENCH_serve.json results/serve-bench.txt
+
+# Short form for CI: the serving layer's allocation gate. Sequential
+# in-process requests through the real mux are deterministic enough for
+# a per-request allocs/op assertion against the checked-in baseline;
+# the generous tolerance absorbs pool-refill and map-growth jitter
+# while still catching an accidentally quadratic or per-request-copying
+# serving path.
+bench-serve-smoke:
+	$(GO) test ./internal/serve -run xxx -bench 'BenchmarkServePrioritize' -benchtime 30x -benchmem | $(GO) run ./cmd/benchjson -assert-allocs-baseline results/serve-bench-baseline.json -allocs-tolerance 1.5
 
 fuzz:
 	$(GO) test ./internal/dagman -fuzz 'FuzzParse$$' -fuzztime 30s

@@ -268,7 +268,7 @@ func BenchmarkOverhead(b *testing.B) {
 }
 
 // BenchmarkParseSchedule measures the end-to-end parse→Graph→Prioritize
-// path on the three dags the paper's evaluation grid centers on. It is
+// path on the four paper dags. It is
 // the frozen-CSR core's allocation gate: make bench-core pipes it
 // through cmd/benchjson, which asserts allocs/op against the checked-in
 // baseline in results/core-bench-baseline.json. The DAGMan text is
@@ -276,7 +276,7 @@ func BenchmarkOverhead(b *testing.B) {
 // the prio tool does per invocation: parse a submit file, freeze the
 // dag, and schedule it.
 func BenchmarkParseSchedule(b *testing.B) {
-	for _, name := range []string{"airsn", "inspiral", "sdss"} {
+	for _, name := range workloads.Names() {
 		b.Run(name, func(b *testing.B) {
 			g, err := workloads.ByName(name, 1)
 			if err != nil {

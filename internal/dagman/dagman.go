@@ -248,6 +248,17 @@ func (f *File) Graph() (*dag.Frozen, error) {
 // where Fig. 3 shows them.
 func (f *File) Instrument(priorities map[string]int) string {
 	covered := make(map[string]bool, len(priorities))
+	// One pass up front over the VARS lines: which jobs already carry a
+	// jobpriority attribute somewhere in the file. Scanning per JOB
+	// line instead made Instrument quadratic in file length — tens of
+	// seconds on the 48k-job SDSS dag, dominating the instrumented
+	// parse→schedule→write pipeline.
+	hasPriority := make(map[string]bool)
+	for _, ln := range f.lines {
+		if ln.kind == lineVars && strings.Contains(ln.raw, "jobpriority") {
+			hasPriority[ln.varsJob] = true
+		}
+	}
 	var b strings.Builder
 	for _, ln := range f.lines {
 		switch ln.kind {
@@ -263,7 +274,7 @@ func (f *File) Instrument(priorities map[string]int) string {
 			b.WriteString(ln.raw)
 			b.WriteByte('\n')
 			name := f.Jobs[ln.jobIdx].Name
-			if p, ok := priorities[name]; ok && !covered[name] && !f.hasJobpriorityVars(name) {
+			if p, ok := priorities[name]; ok && !covered[name] && !hasPriority[name] {
 				fmt.Fprintf(&b, "Vars %s jobpriority=\"%d\"\n", name, p)
 				covered[name] = true
 			}
@@ -289,15 +300,6 @@ func (f *File) Instrument(priorities map[string]int) string {
 		fmt.Fprintf(&b, "Vars %s jobpriority=\"%d\"\n", name, priorities[name])
 	}
 	return b.String()
-}
-
-func (f *File) hasJobpriorityVars(job string) bool {
-	for _, ln := range f.lines {
-		if ln.kind == lineVars && ln.varsJob == job && strings.Contains(ln.raw, "jobpriority") {
-			return true
-		}
-	}
-	return false
 }
 
 // String reproduces the file text as parsed.

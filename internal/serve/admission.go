@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// admitResult is the outcome of one admission attempt.
+type admitResult int
+
+const (
+	// admitOK: a slot was acquired; the caller must release it.
+	admitOK admitResult = iota
+	// admitQueueFull: every slot was busy and the accept queue was at
+	// capacity; the request is rejected immediately.
+	admitQueueFull
+	// admitDeadline: the request waited in the accept queue for the
+	// full QueueTimeout without a slot freeing up and was shed.
+	admitDeadline
+	// admitCanceled: the client went away while the request was queued.
+	admitCanceled
+)
+
+// admission is the daemon's backpressure mechanism: a fixed pool of
+// in-flight slots bounds concurrent scheduling work, and a bounded
+// accept queue with a deadline smooths bursts without letting latency
+// grow without bound. Both channels are used as counting semaphores;
+// len() on them is the (approximate) live occupancy reported by
+// /metrics.
+type admission struct {
+	slots   chan struct{} // in-flight scheduling requests, cap MaxInFlight
+	queue   chan struct{} // waiters beyond the slots, cap MaxQueue
+	timeout time.Duration // max time a request may wait in the queue
+}
+
+func newAdmission(maxInFlight, maxQueue int, timeout time.Duration) *admission {
+	return &admission{
+		slots:   make(chan struct{}, maxInFlight),
+		queue:   make(chan struct{}, maxQueue),
+		timeout: timeout,
+	}
+}
+
+// acquire tries to claim an in-flight slot, queueing for up to the
+// admission timeout when all slots are busy. On admitOK the caller owns
+// a slot and must call release.
+func (a *admission) acquire(ctx context.Context) admitResult {
+	select {
+	case a.slots <- struct{}{}:
+		return admitOK
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return admitQueueFull
+	}
+	defer func() { <-a.queue }()
+	t := time.NewTimer(a.timeout)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return admitOK
+	case <-t.C:
+		return admitDeadline
+	case <-ctx.Done():
+		return admitCanceled
+	}
+}
+
+// release returns an in-flight slot claimed by acquire.
+func (a *admission) release() { <-a.slots }
+
+// inFlight is the number of requests currently holding a slot.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// queued is the number of requests currently waiting for a slot.
+func (a *admission) queued() int { return len(a.queue) }

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dagman"
+	"repro/internal/workloads"
+)
+
+// BenchmarkServePrioritize is the serving layer's allocation gate:
+// sequential POST /v1/prioritize requests through the real mux (no
+// network, httptest recorder), one warmed tenant namespace. make
+// bench-serve-smoke pipes it through cmd/benchjson, which asserts
+// allocs/op against results/serve-bench-baseline.json — pooled scratch
+// and the tenant cache must keep steady-state request cost
+// allocation-lean. The dag format measures the cmd/prio-equivalent
+// path; json measures the structured API.
+func BenchmarkServePrioritize(b *testing.B) {
+	g, err := workloads.ByName("airsn", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := dagman.FromGraph(g, nil).String()
+	for _, format := range []string{"json", "dag"} {
+		b.Run("airsn-"+format, func(b *testing.B) {
+			s := New(Config{})
+			h := s.Handler()
+			url := "/v1/prioritize?format=" + format
+			// Warm the tenant cache, the scratch pool, and the mux.
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("POST", url, strings.NewReader(text)))
+			if rec.Code != 200 {
+				b.Fatalf("warmup status %d", rec.Code)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("POST", url, strings.NewReader(text)))
+				if rec.Code != 200 {
+					b.Fatalf("status %d", rec.Code)
+				}
+			}
+		})
+	}
+}

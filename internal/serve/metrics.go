@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// latWindowSize is the number of most-recent request latencies kept per
+// route. Percentiles are computed over this sliding window, so /metrics
+// reports the current serving regime rather than an all-time average
+// that an old warmup phase would pollute.
+const latWindowSize = 8192
+
+// latencyWindow accumulates request latencies for one route: total
+// count/sum/max since start, plus a ring buffer of the most recent
+// samples for percentile estimation.
+type latencyWindow struct {
+	mu      sync.Mutex
+	samples []float64 // guarded by mu (ring buffer, nanoseconds)
+	next    int       // guarded by mu (ring write index once full)
+	count   int64     // guarded by mu
+	sum     float64   // guarded by mu
+	max     float64   // guarded by mu
+}
+
+func (w *latencyWindow) observe(ns float64) {
+	w.mu.Lock()
+	if len(w.samples) < latWindowSize {
+		w.samples = append(w.samples, ns)
+	} else {
+		w.samples[w.next] = ns
+		w.next = (w.next + 1) % latWindowSize
+	}
+	w.count++
+	w.sum += ns
+	if ns > w.max {
+		w.max = ns
+	}
+	w.mu.Unlock()
+}
+
+func (w *latencyWindow) snapshot() LatencySnapshot {
+	w.mu.Lock()
+	cp := append([]float64(nil), w.samples...)
+	count, sum, max := w.count, w.sum, w.max
+	w.mu.Unlock()
+	s := LatencySnapshot{Count: count, MaxNS: max}
+	if count > 0 {
+		s.MeanNS = sum / float64(count)
+	}
+	if len(cp) > 0 {
+		s.P50NS = stats.Percentile(cp, 50)
+		s.P90NS = stats.Percentile(cp, 90)
+		s.P99NS = stats.Percentile(cp, 99)
+	}
+	return s
+}
+
+// routeMetrics is the per-route slice of the metrics surface.
+type routeMetrics struct {
+	pattern string
+	// classes counts responses by status class; index status/100
+	// (classes[4] counts 4xx). Index 0 counts requests whose client
+	// went away before a response was written.
+	classes [6]atomic.Int64
+	lat     latencyWindow
+}
+
+func (rm *routeMetrics) record(status int, elapsed time.Duration) {
+	class := status / 100
+	if class < 0 || class >= len(rm.classes) {
+		class = 0
+	}
+	rm.classes[class].Add(1)
+	rm.lat.observe(float64(elapsed.Nanoseconds()))
+}
+
+// metrics is the daemon-wide counter set behind GET /metrics. Routes
+// are registered once at construction and only read afterwards, so the
+// slice needs no lock.
+type metrics struct {
+	start         time.Time
+	shedQueueFull atomic.Int64 // 429s from a full accept queue
+	shedDeadline  atomic.Int64 // 429s from the queue-wait deadline
+	clientGone    atomic.Int64 // requests abandoned by the client while queued
+	routes        []*routeMetrics
+}
+
+func newMetrics(patterns []string) *metrics {
+	m := &metrics{start: time.Now()}
+	for _, p := range patterns {
+		m.routes = append(m.routes, &routeMetrics{pattern: p})
+	}
+	return m
+}
+
+// route returns the per-route metrics for a registered pattern.
+func (m *metrics) route(pattern string) *routeMetrics {
+	for _, rm := range m.routes {
+		if rm.pattern == pattern {
+			return rm
+		}
+	}
+	panic("serve: metrics for unregistered route " + pattern)
+}
+
+// Snapshot is the GET /metrics document. Field order (and therefore the
+// serialized byte stream for a fixed state) is deterministic: routes
+// appear in registration order and every map-free struct marshals in
+// declaration order.
+type Snapshot struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	InFlight      int             `json:"inflight"`
+	Queued        int             `json:"queued"`
+	Shed          ShedSnapshot    `json:"shed"`
+	Requests      []RouteSnapshot `json:"requests"`
+	Cache         CacheSnapshot   `json:"cache"`
+	Mem           MemSnapshot     `json:"mem"`
+}
+
+// ShedSnapshot counts requests turned away by admission control.
+type ShedSnapshot struct {
+	// QueueFull counts immediate 429s (accept queue at capacity).
+	QueueFull int64 `json:"queue_full"`
+	// Deadline counts 429s shed after waiting QueueTimeout in the queue.
+	Deadline int64 `json:"deadline"`
+	// ClientGone counts requests whose client disconnected while queued.
+	ClientGone int64 `json:"client_gone"`
+}
+
+// RouteSnapshot is one route's request counters and latency summary.
+type RouteSnapshot struct {
+	Route   string          `json:"route"`
+	Status  StatusSnapshot  `json:"status"`
+	Latency LatencySnapshot `json:"latency_ns"`
+}
+
+// StatusSnapshot counts responses by status class.
+type StatusSnapshot struct {
+	Aborted int64 `json:"aborted"` // no response written (client gone)
+	S2xx    int64 `json:"2xx"`
+	S3xx    int64 `json:"3xx"`
+	S4xx    int64 `json:"4xx"`
+	S5xx    int64 `json:"5xx"`
+}
+
+// LatencySnapshot summarizes a route's request latencies in
+// nanoseconds; percentiles are over the sliding window of the last
+// latWindowSize requests, count/mean/max over the process lifetime.
+type LatencySnapshot struct {
+	Count  int64   `json:"count"`
+	MeanNS float64 `json:"mean"`
+	P50NS  float64 `json:"p50"`
+	P90NS  float64 `json:"p90"`
+	P99NS  float64 `json:"p99"`
+	MaxNS  float64 `json:"max"`
+}
+
+// CacheSnapshot aggregates the component-schedule caches across all
+// live tenant namespaces.
+type CacheSnapshot struct {
+	Tenants int     `json:"tenants"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Entries int     `json:"entries"`
+}
+
+// MemSnapshot is the process memory surface: Go runtime numbers plus
+// the operating system's resident set size.
+type MemSnapshot struct {
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	SysBytes       uint64 `json:"sys_bytes"`
+	RSSBytes       uint64 `json:"rss_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+	Goroutines     int    `json:"goroutines"`
+}
+
+func (m *metrics) snapshot(adm *admission, caches *tenantCaches) Snapshot {
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		InFlight:      adm.inFlight(),
+		Queued:        adm.queued(),
+		Shed: ShedSnapshot{
+			QueueFull:  m.shedQueueFull.Load(),
+			Deadline:   m.shedDeadline.Load(),
+			ClientGone: m.clientGone.Load(),
+		},
+		Cache: caches.snapshot(),
+	}
+	for _, rm := range m.routes {
+		s.Requests = append(s.Requests, RouteSnapshot{
+			Route: rm.pattern,
+			Status: StatusSnapshot{
+				Aborted: rm.classes[0].Load(),
+				S2xx:    rm.classes[2].Load(),
+				S3xx:    rm.classes[3].Load(),
+				S4xx:    rm.classes[4].Load(),
+				S5xx:    rm.classes[5].Load(),
+			},
+			Latency: rm.lat.snapshot(),
+		})
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.Mem = MemSnapshot{
+		HeapAllocBytes: ms.HeapAlloc,
+		SysBytes:       ms.Sys,
+		RSSBytes:       readRSS(),
+		NumGC:          ms.NumGC,
+		Goroutines:     runtime.NumGoroutine(),
+	}
+	if s.Mem.RSSBytes == 0 {
+		// No /proc (non-Linux): the runtime's OS reservation is the
+		// closest portable stand-in.
+		s.Mem.RSSBytes = ms.Sys
+	}
+	return s
+}
+
+// readRSS reads the resident set size from /proc/self/statm, returning
+// 0 where that interface does not exist.
+func readRSS() uint64 {
+	b, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	f := strings.Fields(string(b))
+	if len(f) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseUint(f[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * uint64(os.Getpagesize())
+}
