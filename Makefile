@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint race cover bench bench-sim bench-sim-smoke bench-core bench-core-smoke bench-serve bench-serve-smoke fuzz fuzz-smoke sweeps examples clean
+.PHONY: all build test check check-race lint race cover bench bench-sim bench-sim-smoke bench-core bench-core-smoke bench-serve bench-serve-smoke fuzz fuzz-smoke sweeps examples clean
 
 all: build test
 
@@ -23,6 +23,12 @@ check: lint
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(MAKE) check-race
+
+# Full suite under the race detector — every package, not just the
+# parallel pipeline's (compare `race` below). CI's "test (race)" step
+# runs this target so local and CI gates cannot drift.
+check-race:
 	$(GO) test -race ./...
 
 # The determinism/concurrency/zero-alloc analyzers (see
@@ -107,14 +113,17 @@ fuzz:
 	$(GO) test ./internal/dagman -fuzz FuzzParseDAGMan -fuzztime 30s
 	$(GO) test ./internal/core -fuzz FuzzSchedule -fuzztime 30s
 	$(GO) test ./internal/sim -fuzz FuzzKernelReplication -fuzztime 30s
+	$(GO) test ./internal/serve -fuzz FuzzPrioritizeRequest -fuzztime 30s
 
 # Short fuzz pass for CI: 10s per target on the invariants that matter
 # most (parser round-trip, schedule validity/determinism, pooled-kernel
-# equivalence).
+# equivalence, response determinism and well-formedness through the
+# real mux).
 fuzz-smoke:
 	$(GO) test ./internal/dagman -run xxx -fuzz FuzzParseDAGMan -fuzztime 10s
 	$(GO) test ./internal/core -run xxx -fuzz FuzzSchedule -fuzztime 10s
 	$(GO) test ./internal/sim -run xxx -fuzz FuzzKernelReplication -fuzztime 10s
+	$(GO) test ./internal/serve -run xxx -fuzz FuzzPrioritizeRequest -fuzztime 10s
 
 # Regenerate the Figures 6-9 sweeps into results/ (about 10 minutes).
 sweeps:

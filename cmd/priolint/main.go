@@ -13,8 +13,9 @@
 // package, in dependency order, sharing a fact store — purity exports
 // an Impure fact for every effectful function it sees, so a violation
 // deep in a dependency surfaces at the annotated entry point with the
-// whole call chain. Program analyzers (noalloc, nestedlock) run once
-// over all loaded packages together with the whole-program call graph.
+// whole call chain. Program analyzers (noalloc, nestedlock, goroleak,
+// ctxflow, chanbound, respdet) run once over all loaded packages
+// together with the whole-program call graph.
 // Interface calls resolve only to implementations loaded from source,
 // so run the tool over ./... (the default) for the contracts to be
 // proved rather than spot-checked.
@@ -38,25 +39,33 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/chanbound"
+	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/errpropagation"
 	"repro/internal/analysis/facts"
+	"repro/internal/analysis/goroleak"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/lockedfield"
 	"repro/internal/analysis/mapiterorder"
 	"repro/internal/analysis/nestedlock"
 	"repro/internal/analysis/noalloc"
 	"repro/internal/analysis/purity"
+	"repro/internal/analysis/respdet"
 	"repro/internal/analysis/rngsource"
 )
 
 // suite is every analyzer priolint knows, in reporting order.
 var suite = []*analysis.Analyzer{
+	chanbound.Analyzer,
+	ctxflow.Analyzer,
 	errpropagation.Analyzer,
+	goroleak.Analyzer,
 	lockedfield.Analyzer,
 	mapiterorder.Analyzer,
 	nestedlock.Analyzer,
 	noalloc.Analyzer,
 	purity.Analyzer,
+	respdet.Analyzer,
 	rngsource.Analyzer,
 }
 

@@ -127,17 +127,40 @@ func TestDriverDeterministic(t *testing.T) {
 	}
 }
 
-// TestDriverInjectMarker pins the sed target of CI's
-// "priolint catches injected allocation" step: if the marker line
-// disappears from the fixture, the CI step would silently inject
-// nothing and the anti-vacuousness guard would stop guarding.
+// TestDriverInjectMarker pins the sed targets of CI's injection steps:
+// if a marker line disappears from its fixture, the CI step would
+// silently inject nothing and the anti-vacuousness guard would stop
+// guarding.
 func TestDriverInjectMarker(t *testing.T) {
-	src, err := os.ReadFile("testdata/src/noallocclean/noallocclean.go")
+	for file, marker := range map[string]string{
+		"testdata/src/noallocclean/noallocclean.go":     "// INJECT: allocation goes here",
+		"testdata/src/goroleakclean/goroleakclean.go":   "// INJECT: leaked goroutine goes here",
+		"testdata/src/chanboundclean/chanboundclean.go": "// INJECT: unbounded send goes here",
+		"testdata/src/respdetclean/respdetclean.go":     "// INJECT: clock read goes here",
+	} {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(src), marker) {
+			t.Errorf("%s lost its %q marker (ci.yml seds it)", file, marker)
+		}
+	}
+}
+
+// TestAnalyzersDocumented mirrors the serving layer's
+// TestRoutesDocumented: every analyzer registered in the suite must
+// have an "(analyzer <name>)" section in internal/analysis/doc.go, so
+// the suite and its documentation cannot drift apart.
+func TestAnalyzersDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../internal/analysis/doc.go")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(src), "// INJECT: allocation goes here") {
-		t.Error("noallocclean fixture lost its '// INJECT: allocation goes here' marker (ci.yml seds it)")
+	for _, a := range suite {
+		if !strings.Contains(string(doc), "(analyzer "+a.Name+")") {
+			t.Errorf("analyzer %s is registered in the suite but has no \"(analyzer %s)\" section in internal/analysis/doc.go", a.Name, a.Name)
+		}
 	}
 }
 

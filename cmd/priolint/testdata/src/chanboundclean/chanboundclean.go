@@ -1,0 +1,37 @@
+// Package chanboundclean is the anti-vacuousness fixture for the
+// chanbound analyzer: Handle's only send sits inside a select with a
+// default case, so priolint passes on this package as checked in.
+// CI's injection step replaces the INJECT marker below with a bare
+// send on the unbounded audit channel and asserts priolint fails —
+// proving the analyzer still has teeth. TestDriverInjectMarker pins
+// the marker so the sed in .github/workflows/ci.yml cannot rot
+// silently.
+package chanboundclean
+
+import "net/http"
+
+// Server carries a bounded admission semaphore and an unbounded audit
+// channel whose sends must stay select-guarded.
+type Server struct {
+	slots chan struct{}
+	audit chan string
+}
+
+func NewServer() *Server {
+	return &Server{
+		slots: make(chan struct{}, 8),
+		audit: make(chan string),
+	}
+}
+
+func (s *Server) Handle(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	default:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	// INJECT: unbounded send goes here
+	w.WriteHeader(http.StatusOK)
+}

@@ -1,0 +1,32 @@
+// Package goroleakclean is the anti-vacuousness fixture for the
+// goroleak analyzer: Sum launches properly joined goroutines, so
+// priolint passes on this package as checked in. CI's injection step
+// replaces the INJECT marker below with an unjoined goroutine launch
+// and asserts priolint fails — proving the analyzer still has teeth.
+// TestDriverInjectMarker pins the marker so the sed in
+// .github/workflows/ci.yml cannot rot silently.
+package goroleakclean
+
+import "sync"
+
+// Sum totals every part with one joined worker per part.
+func Sum(parts [][]int) int {
+	totals := make([]int, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, v := range p {
+				totals[i] += v
+			}
+		}()
+	}
+	wg.Wait()
+	// INJECT: leaked goroutine goes here
+	sum := 0
+	for _, t := range totals {
+		sum += t
+	}
+	return sum
+}

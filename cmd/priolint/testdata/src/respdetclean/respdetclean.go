@@ -1,0 +1,30 @@
+// Package respdetclean is the anti-vacuousness fixture for the respdet
+// analyzer: Render is annotated //prio:deterministic and genuinely
+// order-free (collect-then-sort), so priolint passes on this package
+// as checked in. CI's injection step replaces the INJECT marker below
+// with a clock read and asserts priolint fails — proving the analyzer
+// still has teeth. TestDriverInjectMarker pins the marker so the sed
+// in .github/workflows/ci.yml cannot rot silently.
+package respdetclean
+
+import (
+	"sort"
+	"time"
+)
+
+// Timeout is a fixed budget: a call-free use of package time that
+// keeps the import available for the CI injection.
+const Timeout = 50 * time.Millisecond
+
+// Render returns the canonical (sorted) key listing of scores.
+//
+//prio:deterministic
+func Render(scores map[string]int) []string {
+	keys := make([]string, 0, len(scores))
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// INJECT: clock read goes here
+	return keys
+}

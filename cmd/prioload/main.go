@@ -86,8 +86,19 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		srv := &http.Server{Handler: s.Handler()}
-		go func() { _ = srv.Serve(ln) }()
-		defer srv.Close()
+		// The buffered channel joins the serve goroutine: Serve returns
+		// (with ErrServerClosed) once Close runs, and the buffer lets the
+		// final send complete even before the receive. goroleak proves
+		// this shape; the bare `go srv.Serve(ln)` it replaced leaked the
+		// goroutine past run's return.
+		errc := make(chan error, 1)
+		go func() { errc <- srv.Serve(ln) }()
+		defer func() {
+			if cerr := srv.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "prioload: closing server: %v\n", cerr)
+			}
+			<-errc
+		}()
 		base = "http://" + ln.Addr().String()
 	}
 	base = strings.TrimSuffix(base, "/")
@@ -96,6 +107,7 @@ func run(args []string, w io.Writer) error {
 		MaxIdleConns:        2 * *clients,
 		MaxIdleConnsPerHost: 2 * *clients,
 	}}
+	defer client.CloseIdleConnections()
 
 	for _, spec := range strings.Split(*dags, ",") {
 		spec = strings.TrimSpace(spec)

@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestLoadOutputFormat(t *testing.T) {
@@ -69,5 +71,38 @@ func TestRejectsBadFlagValues(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-clients", "0"}, &buf); err == nil || !strings.Contains(err.Error(), "at least 1") {
 		t.Fatalf("err = %v, want a flag-validation error", err)
+	}
+}
+
+// TestRunJoinsGoroutines pins the fix goroleak forced: run must join
+// the in-process server's Serve goroutine (and close idle client
+// connections) before returning, so repeated invocations cannot
+// accumulate goroutines.
+func TestRunJoinsGoroutines(t *testing.T) {
+	args := []string{"-dags", "airsn", "-scale", "16", "-clients", "2", "-requests", "2", "-warmup", "1"}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil { // warm pools and lazy singletons
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		buf.Reset()
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The joined shape leaves no per-run goroutines; allow a little
+	// slack for runtime-internal background work, then poll because
+	// net/http connection goroutines unwind asynchronously after Close.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d across three runs: the serve goroutine or client connections leak", baseline, n)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

@@ -1,0 +1,304 @@
+// Package chanbound is the static form of the admission layer's
+// shedding guarantee: no channel send reachable from an HTTP handler
+// may block unboundedly. A send that can block forever while holding
+// an admission slot turns backpressure into deadlock; the serving
+// layer avoids this by construction (semaphore channels with explicit
+// capacity, sends wrapped in selects with default or timeout cases),
+// and this analyzer pins the construction.
+//
+// Every send statement in a function reachable from a handler
+// (func(http.ResponseWriter, *http.Request), named or literal,
+// excluding _test.go code — see repro/internal/analysis/reach) must
+// satisfy one of:
+//
+//   - select with escape: the send is a case of a select that also has
+//     a default case, or a case receiving from a timeout/cancellation
+//     source (time.After, a Timer/Ticker .C field, or ctx.Done()).
+//   - provably bounded channel: the channel expression resolves to a
+//     variable or field whose every make site in non-test code passes
+//     an explicit capacity argument (not the constant zero). A send on
+//     such a channel blocks only while the buffer is full, and the
+//     capacity was chosen by the code that sized the pipeline
+//     (admission slots and queue, the worker pool's panic channel).
+//
+// Anything else is a finding: an unbuffered make, a mix of buffered
+// and unbuffered makes, a channel with no visible make site, or a
+// channel expression the analyzer cannot resolve. Makes in _test.go
+// files are ignored — tests may build unbuffered instances of
+// production types, but those instances never serve daemon traffic.
+// Receives are deliberately out of scope: a blocking receive on a
+// handler path parks the request without holding buffer space, and the
+// ctxflow analyzer polices the cancellation side.
+package chanbound
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/reach"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "chanbound",
+	Doc: "check that every channel send reachable from an HTTP handler is on a " +
+		"provably bounded channel or inside a select with a default or timeout case",
+	RunProgram: run,
+}
+
+// chanMakes tallies the make sites binding one channel variable/field.
+type chanMakes struct {
+	bounded   int
+	unbounded int
+	firstUnbd token.Pos
+}
+
+func run(pass *analysis.ProgramPass) error {
+	makes := collectMakes(pass)
+	reach.Walk(reach.Handlers(pass.Graph), func(n *callgraph.Node, path []string) {
+		if n.Pkg == nil {
+			return
+		}
+		info := n.Pkg.Info
+		analysis.WithStack(n.Body, func(nd ast.Node, stack []ast.Node) bool {
+			if _, ok := nd.(*ast.FuncLit); ok {
+				return false // a literal is its own node; visited with its own path
+			}
+			send, ok := nd.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if selectGuarded(info, send, stack) {
+				return true
+			}
+			obj := chanObj(info, send.Chan)
+			if obj != nil {
+				if cm := makes[obj]; cm != nil && cm.unbounded == 0 && cm.bounded > 0 {
+					return true
+				}
+			}
+			report(pass, makes, send, obj, path)
+			return true
+		})
+	})
+	return nil
+}
+
+func report(pass *analysis.ProgramPass, makes map[types.Object]*chanMakes, send *ast.SendStmt, obj types.Object, path []string) {
+	why := "the analyzer cannot resolve the channel to a variable"
+	if obj != nil {
+		cm := makes[obj]
+		switch {
+		case cm == nil:
+			why = fmt.Sprintf("no make site for %s is visible in non-test code", obj.Name())
+		case cm.unbounded > 0:
+			p := pass.Fset.Position(cm.firstUnbd)
+			why = fmt.Sprintf("%s is made without an explicit capacity at %s:%d", obj.Name(), filepath.Base(p.Filename), p.Line)
+		}
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos: send.Arrow,
+		Message: fmt.Sprintf("send reachable from HTTP handler %s is neither on a provably bounded channel "+
+			"nor inside a select with a default or timeout case: %s (path: %s)",
+			path[0], why, strings.Join(path, " → ")),
+		Path: append([]string(nil), path...),
+	})
+}
+
+// collectMakes scans every non-test file of every loaded package for
+// `make(chan ...)` expressions bound to a variable, struct field
+// (assignment or composite-literal key), or declaration, tallying
+// explicit-capacity vs capacity-less makes per object.
+func collectMakes(pass *analysis.ProgramPass) map[types.Object]*chanMakes {
+	makes := make(map[types.Object]*chanMakes)
+	record := func(obj types.Object, call *ast.CallExpr, info *types.Info) {
+		if obj == nil {
+			return
+		}
+		cm := makes[obj]
+		if cm == nil {
+			cm = &chanMakes{}
+			makes[obj] = cm
+		}
+		if isBounded(info, call) {
+			cm.bounded++
+		} else {
+			cm.unbounded++
+			if cm.firstUnbd == token.NoPos {
+				cm.firstUnbd = call.Lparen
+			}
+		}
+	}
+	for _, pkg := range pass.Pkgs {
+		for fi, file := range pkg.Syntax {
+			if strings.HasSuffix(pkg.GoFiles[fi], "_test.go") {
+				continue
+			}
+			info := pkg.Info
+			analysis.WithStack(file, func(nd ast.Node, stack []ast.Node) bool {
+				call, ok := nd.(*ast.CallExpr)
+				if !ok || !isChanMake(info, call) || len(stack) == 0 {
+					return true
+				}
+				switch parent := stack[len(stack)-1].(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range parent.Rhs {
+						if rhs == nd && i < len(parent.Lhs) {
+							record(lhsObj(info, parent.Lhs[i]), call, info)
+						}
+					}
+				case *ast.ValueSpec:
+					for i, v := range parent.Values {
+						if v == nd && i < len(parent.Names) {
+							record(info.Defs[parent.Names[i]], call, info)
+						}
+					}
+				case *ast.KeyValueExpr:
+					if parent.Value == nd {
+						if key, ok := parent.Key.(*ast.Ident); ok {
+							record(info.Uses[key], call, info)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return makes
+}
+
+func isChanMake(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if tv, ok := info.Types[call.Fun]; !ok || !tv.IsBuiltin() {
+		return false
+	}
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// isBounded reports whether the make passes an explicit capacity that
+// is not the constant zero. A non-constant capacity counts: the code
+// sized the channel deliberately (worker counts, queue depths).
+func isBounded(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+		return false
+	}
+	return true
+}
+
+func lhsObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Defs[e]; obj != nil {
+			return obj
+		}
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func chanObj(info *types.Info, e ast.Expr) types.Object {
+	return lhsObj(info, e)
+}
+
+// selectGuarded reports whether send is directly a case of a select
+// that has an escape: a default case, or a case receiving from a
+// timeout or cancellation source. A send nested deeper inside a case
+// body blocks independently of the select and is not guarded.
+func selectGuarded(info *types.Info, send *ast.SendStmt, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	clause, ok := stack[len(stack)-1].(*ast.CommClause)
+	if !ok || clause.Comm != ast.Stmt(send) {
+		return false
+	}
+	sel, ok := stack[len(stack)-2].(*ast.SelectStmt)
+	if !ok {
+		return false
+	}
+	for _, cl := range sel.Body.List {
+		comm, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if comm.Comm == nil {
+			return true // default case: the send cannot block
+		}
+		if rx := commReceive(comm); rx != nil && isTimeoutSource(info, rx) {
+			return true
+		}
+	}
+	return false
+}
+
+// commReceive extracts the received-from expression of a select case.
+func commReceive(comm *ast.CommClause) ast.Expr {
+	var expr ast.Expr
+	switch s := comm.Comm.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(expr).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}
+
+// isTimeoutSource: time.After(...), ctx.Done() on a context.Context,
+// or the .C field of a time.Timer/time.Ticker.
+func isTimeoutSource(info *types.Info, rx ast.Expr) bool {
+	switch rx := ast.Unparen(rx).(type) {
+	case *ast.CallExpr:
+		fn := analysis.Callee(info, rx)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			return fn.Name() == "After"
+		case "context":
+			return fn.Name() == "Done"
+		}
+	case *ast.SelectorExpr:
+		if rx.Sel.Name != "C" {
+			return false
+		}
+		t := info.TypeOf(rx.X)
+		if t == nil {
+			return false
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := types.Unalias(t).(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "time" &&
+			(obj.Name() == "Timer" || obj.Name() == "Ticker")
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package chanbound_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/chanbound"
+)
+
+func TestChanbound(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), chanbound.Analyzer, "a", "clean")
+}

@@ -1,0 +1,47 @@
+// Package a exercises the chanbound analyzer: every send here is
+// reachable from an HTTP handler without a bounded-capacity proof or a
+// select escape, and must be reported.
+package a
+
+import "net/http"
+
+type server struct {
+	events chan int
+	other  chan int
+}
+
+func (s *server) Handle(w http.ResponseWriter, r *http.Request) {
+	s.events <- 1 // want `send reachable from HTTP handler \(\*server\)\.Handle .* no make site for events is visible in non-test code`
+	local := make(chan int)
+	local <- 2 // want `send reachable from HTTP handler \(\*server\)\.Handle .* local is made without an explicit capacity at a.go:\d+`
+	zero := make(chan int, 0)
+	zero <- 0 // want `send reachable from HTTP handler \(\*server\)\.Handle .* zero is made without an explicit capacity at a.go:\d+`
+	forward(local)
+	s.sized(3)
+}
+
+// forward's send is two hops from the handler; the parameter has no
+// visible make site.
+func forward(ch chan int) {
+	ch <- 3 // want `send reachable from HTTP handler \(\*server\)\.Handle .* no make site for ch .* \(path: .*Handle → forward\)`
+}
+
+// sized mixes a bounded and an unbounded make of the same variable:
+// the unbounded site poisons the proof.
+func (s *server) sized(n int) {
+	c := make(chan int, 4)
+	if n > 0 {
+		c = make(chan int)
+	}
+	c <- n // want `send reachable from HTTP handler \(\*server\)\.Handle .* c is made without an explicit capacity at a.go:\d+`
+}
+
+// A select with receive cases but no default or timeout does not
+// unblock the send.
+func (s *server) HandleSelect(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.events <- 4: // want `send reachable from HTTP handler \(\*server\)\.HandleSelect .* no make site for events`
+	case v := <-s.other:
+		_ = v
+	}
+}

@@ -1,0 +1,63 @@
+// Package clean shows the send shapes chanbound accepts on handler
+// paths: selects with a default or timeout escape, and sends on
+// channels whose every make site passes an explicit capacity — the
+// admission-layer construction.
+package clean
+
+import (
+	"net/http"
+	"time"
+)
+
+type server struct {
+	slots chan struct{}
+	queue chan struct{}
+}
+
+// newServer sizes both semaphores explicitly; a constant and a
+// computed capacity both count as bounded.
+func newServer(depth int) *server {
+	return &server{
+		slots: make(chan struct{}, 4),
+		queue: make(chan struct{}, depth),
+	}
+}
+
+func (s *server) Handle(w http.ResponseWriter, r *http.Request) {
+	// Select with default: shed instead of block.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+		return
+	}
+
+	// Direct send on a provably bounded channel.
+	s.queue <- struct{}{}
+
+	// Select with a Timer.C timeout case.
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+	case <-t.C:
+	}
+
+	// Select with a context-cancellation case.
+	select {
+	case s.queue <- struct{}{}:
+	case <-r.Context().Done():
+	}
+
+	// Select with a time.After timeout case.
+	select {
+	case s.slots <- struct{}{}:
+	case <-time.After(time.Millisecond):
+	}
+}
+
+// release receives are out of scope for chanbound.
+func (s *server) release() {
+	<-s.slots
+	<-s.queue
+}

@@ -1,0 +1,71 @@
+// Package ctxflow proves that request handling stays attached to the
+// request's context. The serving layer's shedding guarantee
+// (docs/OPERATIONS.md) depends on every blocking step downstream of a
+// handler honoring client cancellation: the admission layer selects on
+// r.Context().Done(), and nothing on a handler path may substitute a
+// detached context or an unconditional sleep for that discipline.
+//
+// Concretely, on every function reachable from an HTTP handler
+// (func(http.ResponseWriter, *http.Request), named or literal,
+// excluding _test.go code) the analyzer bans:
+//
+//   - context.Background() — detaches the work from client
+//     cancellation; a request that outlives its client keeps an
+//     admission slot pinned.
+//   - context.TODO() — a placeholder that admits the same leak.
+//   - time.Sleep — blocks without a cancellation case; waiting on a
+//     handler path must be a select with ctx.Done() (see
+//     internal/serve/admission.go for the reference shape).
+//
+// Reachability follows static and interface edges to implementations
+// loaded from source (test doubles exempt); calls through unresolved
+// function values are not followed, which is sound here because every
+// handler-shaped function is itself a root — see
+// repro/internal/analysis/reach. Process-lifetime code (main,
+// shutdown) legitimately uses context.Background and is not reachable
+// from any handler, so it is untouched.
+package ctxflow
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/reach"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "ban context.Background/context.TODO/time.Sleep on HTTP handler paths: " +
+		"request work must stay attached to the request context",
+	RunProgram: run,
+}
+
+// banned maps external callee keys to the reason each breaks the
+// request-context discipline.
+var banned = map[string]string{
+	"context.Background": "detaches the work from client cancellation",
+	"context.TODO":       "is a placeholder context that detaches the work from client cancellation",
+	"time.Sleep":         "blocks without a cancellation case (select on ctx.Done instead)",
+}
+
+func run(pass *analysis.ProgramPass) error {
+	reach.Walk(reach.Handlers(pass.Graph), func(n *callgraph.Node, path []string) {
+		for _, e := range n.Out {
+			if e.Callee == nil || e.Callee.Body != nil {
+				continue
+			}
+			why, bad := banned[e.Callee.Key]
+			if !bad {
+				continue
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: e.Pos,
+				Message: "call to " + e.Callee.Key + " on a handler path " + why +
+					" (path: " + strings.Join(path, " → ") + ")",
+				Path: append([]string(nil), path...),
+			})
+		}
+	})
+	return nil
+}

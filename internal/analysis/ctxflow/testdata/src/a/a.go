@@ -1,0 +1,41 @@
+// Package a exercises the ctxflow analyzer: detached contexts and
+// unconditional sleeps on handler paths must be reported, while the
+// same calls off handler paths are untouched.
+package a
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func Handler(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(time.Millisecond) // want `call to time.Sleep on a handler path blocks without a cancellation case`
+	process(r.Context())
+}
+
+// process is only handler-reachable; the detached context is reported
+// at its call site with the path from the root.
+func process(ctx context.Context) {
+	ctx = context.Background() // want `call to context.Background on a handler path detaches the work from client cancellation \(path: Handler → process\)`
+	_ = ctx
+}
+
+// A handler-shaped literal is a root of its own.
+func Wrap() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		placeholder()
+	}
+}
+
+func placeholder() {
+	ctx := context.TODO() // want `call to context.TODO on a handler path is a placeholder context`
+	_ = ctx
+}
+
+// Setup is not reachable from any handler: process-lifetime code may
+// use a detached context freely.
+func Setup() context.Context {
+	time.Sleep(time.Millisecond)
+	return context.Background()
+}

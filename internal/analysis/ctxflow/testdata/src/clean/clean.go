@@ -1,0 +1,30 @@
+// Package clean shows the request-context discipline ctxflow wants:
+// waiting on a handler path is a select with a cancellation case, and
+// derived contexts come from the request.
+package clean
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func Handler(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	if err := wait(ctx); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	}
+}
+
+// wait blocks with a cancellation case instead of time.Sleep.
+func wait(ctx context.Context) error {
+	t := time.NewTimer(10 * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -126,6 +126,63 @@
 // signal, and the write paths all sync through os.WriteFile, which is
 // covered.
 //
+// # The serving-layer proofs
+//
+// The four analyzers below extend the suite from kernel purity to
+// service safety: they walk the whole-program call graph from every
+// HTTP handler (or from an annotated response path) and prove the
+// daemon properties the load generator and differential tests can only
+// sample. The shared reachability layer is subpackage reach: roots are
+// all non-test functions shaped func(http.ResponseWriter,
+// *http.Request), traversal follows static and interface edges
+// (skipping _test.go implementations — test doubles never serve daemon
+// traffic), and dynamic edges are compensated for by rooting at every
+// handler-shaped function.
+//
+// Goroutine lifecycle (analyzer goroleak). Every `go` statement in
+// non-test code must launch a function literal whose termination the
+// enclosing declaration proves lexically: a sync.WaitGroup Done in the
+// goroutine with a matching Wait outside it, a final send on a
+// buffered channel the launcher makes (non-zero capacity) and receives
+// from, or a select on ctx.Done / a channel the launcher closes.
+// Named-function launches are always flagged — wrap them in a literal
+// carrying one of the joins. This turned the load generator's leaked
+// `go srv.Serve(ln)` into a compile gate instead of a slow RSS climb.
+//
+// Context flow (analyzer ctxflow). On every function reachable from a
+// handler, context.Background and context.TODO (which detach work from
+// client cancellation and pin admission slots past the client's
+// departure) and time.Sleep (which blocks without a cancellation case)
+// are banned. Waiting on a handler path must be a select with
+// ctx.Done, the shape internal/serve/admission.go models.
+//
+// Bounded channels (analyzer chanbound). Every channel send reachable
+// from a handler must be inside a select with a default or timeout
+// case (time.After, Timer/Ticker .C, ctx.Done), or on a channel whose
+// every non-test make site passes an explicit non-zero capacity. A
+// send that can block unboundedly while holding an admission slot
+// turns backpressure into deadlock; this pins the admission layer's
+// construction.
+//
+// Response determinism (analyzer respdet). A function annotated
+//
+//	//prio:deterministic
+//	func (s *Server) handlePrioritize(w http.ResponseWriter, r *http.Request)
+//
+// must produce output that is a function of its input alone: nothing
+// reachable from it may read the clock (time.Now/Since/Until), draw
+// from the process-global math/rand source (explicitly seeded *Rand
+// values stay legal), touch process or filesystem state (os, os/exec,
+// syscall — this keeps /proc reads off the response path), observe the
+// runtime (ReadMemStats, NumGoroutine), or range over a map in an
+// order-dependent way (the mapiterorder discipline, applied
+// transitively: collect-then-sort, keyed writes, and integer
+// accumulation are fine; float accumulation, early returns, and
+// escaping writes are not). The /v1/prioritize handler carries the
+// annotation; /metrics deliberately does not — it reports clocks and
+// gauges by design, and its exemption is the absence of the contract
+// (see docs/OPERATIONS.md).
+//
 // # Running
 //
 //	go run ./cmd/priolint ./...        # what make check and CI run

@@ -1,0 +1,335 @@
+// Package goroleak proves that every goroutine launched from non-test
+// code has a termination or join path the analyzer can see lexically —
+// the static form of "the daemon does not leak goroutines per
+// request". A long-lived server that spawns an unjoined goroutine per
+// request (or per startup step that can fail) accumulates stacks until
+// the process dies; the race detector only notices when the leak also
+// races, and a load test only notices once the leak is large. This
+// check makes the join obligation a compile-gate instead.
+//
+// # What is proved
+//
+// Every `go` statement must launch a function literal whose
+// termination the enclosing declaration proves by one of three
+// patterns:
+//
+//   - WaitGroup join: the literal calls Done (directly or deferred) on
+//     a sync.WaitGroup, and the enclosing function calls Wait on the
+//     same variable outside the literal. (The worker pools in
+//     internal/core, internal/sim, and cmd/prioload.)
+//   - Buffered result channel: the literal's final statement sends on
+//     a channel that the enclosing function both creates with a
+//     non-zero capacity and receives from. The buffer guarantees the
+//     final send cannot block forever even when the receiver bails out
+//     early, and the receive gives the value somewhere to go on the
+//     normal path. (cmd/priod's `errc <- srv.Serve(ln)`.)
+//   - Cancellation: the literal contains a select with a case
+//     receiving from ctx.Done() (any context.Context), or receiving
+//     from — or ranging over — a channel the enclosing function
+//     closes.
+//
+// A `go` statement that launches a named function, or a literal
+// matching none of the patterns, is a finding: wrap the launch in a
+// literal carrying one of the joins above. Goroutines launched from
+// _test.go files are exempt — the test framework bounds their
+// lifetime, and test helpers (httptest servers and the like) routinely
+// launch goroutines the test binary joins on its own terms.
+//
+// The proof is lexical, not a full may-happen-in-parallel analysis: a
+// Wait that is dynamically skipped on some path still counts. The
+// patterns accepted here are exactly the ones this repository uses;
+// extend the analyzer rather than weakening a launch site to an
+// unproven shape.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "check that every goroutine launched from non-test code has a lexical " +
+		"join: a WaitGroup Done/Wait pair, a final send on a buffered channel " +
+		"the launcher drains, or a select on a cancellation channel",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	for _, n := range pass.Graph.Nodes {
+		// Only declarations: literals are lexically inside one, and the
+		// walk below descends into them, so every go statement is seen
+		// exactly once with its full lexical context.
+		if n.Decl == nil || n.Body == nil || n.InTest {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Body, func(nd ast.Node) bool {
+			gs, ok := nd.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			check(pass, info, n, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.ProgramPass, info *types.Info, n *callgraph.Node, gs *ast.GoStmt) {
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		pass.Reportf(gs.Go, "go statement in %s launches a named function, which goroleak cannot prove terminates; "+
+			"wrap the launch in a literal with a lexical join (WaitGroup Done/Wait, a buffered result channel, or a cancellation select)",
+			n.Name())
+		return
+	}
+	if provesWaitGroup(info, n.Decl.Body, lit) ||
+		provesResultChannel(info, n.Decl.Body, lit) ||
+		provesCancellation(info, n.Decl.Body, lit) {
+		return
+	}
+	pass.Reportf(gs.Go, "goroutine launched in %s has no provable termination path: "+
+		"want a sync.WaitGroup Done in the goroutine with a matching Wait in %s, "+
+		"a final send on a buffered channel %s receives from, "+
+		"or a select on ctx.Done or a channel %s closes",
+		n.Name(), n.Name(), n.Name(), n.Name())
+}
+
+// inspectOutside walks root depth-first, skipping the subtree under
+// skip.
+func inspectOutside(root, skip ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(nd ast.Node) bool {
+		if nd == skip {
+			return false
+		}
+		return nd == nil || fn(nd)
+	})
+}
+
+// waitGroupMethod resolves call to a sync.WaitGroup method with the
+// given name, returning the object the call dispatches through
+// (variable or field), or nil.
+func waitGroupMethod(info *types.Info, call *ast.CallExpr, name string) types.Object {
+	fn := analysis.Callee(info, call)
+	if fn == nil || callgraph.FuncKey(fn) != "sync.(*WaitGroup)."+name {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return recvObject(info, sel.X)
+}
+
+// recvObject resolves the variable or field a selector receiver names.
+func recvObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return objOf(info, e)
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// provesWaitGroup: the literal calls wg.Done (anywhere, including
+// deferred and nested) and the declaration calls wg.Wait on the same
+// object outside the literal.
+func provesWaitGroup(info *types.Info, declBody *ast.BlockStmt, lit *ast.FuncLit) bool {
+	done := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		if call, ok := nd.(*ast.CallExpr); ok {
+			if obj := waitGroupMethod(info, call, "Done"); obj != nil {
+				done[obj] = true
+			}
+		}
+		return true
+	})
+	if len(done) == 0 {
+		return false
+	}
+	joined := false
+	inspectOutside(declBody, lit, func(nd ast.Node) bool {
+		if call, ok := nd.(*ast.CallExpr); ok && !joined {
+			if obj := waitGroupMethod(info, call, "Wait"); obj != nil && done[obj] {
+				joined = true
+			}
+		}
+		return !joined
+	})
+	return joined
+}
+
+// provesResultChannel: the literal's final statement is a send on a
+// channel the declaration makes with an explicit non-zero capacity and
+// receives from outside the literal.
+func provesResultChannel(info *types.Info, declBody *ast.BlockStmt, lit *ast.FuncLit) bool {
+	if len(lit.Body.List) == 0 {
+		return false
+	}
+	send, ok := lit.Body.List[len(lit.Body.List)-1].(*ast.SendStmt)
+	if !ok {
+		return false
+	}
+	ch := recvObject(info, send.Chan)
+	if ch == nil {
+		return false
+	}
+	buffered, received := false, false
+	inspectOutside(declBody, lit, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range nd.Rhs {
+				if i < len(nd.Lhs) && bindsBufferedMake(info, nd.Lhs[i], rhs, ch) {
+					buffered = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range nd.Values {
+				if i < len(nd.Names) && info.Defs[nd.Names[i]] == ch && isBufferedMake(info, v) {
+					buffered = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if nd.Op == token.ARROW && recvObject(info, nd.X) == ch {
+				received = true
+			}
+		case *ast.RangeStmt:
+			if recvObject(info, nd.X) == ch {
+				received = true
+			}
+		}
+		return !(buffered && received)
+	})
+	return buffered && received
+}
+
+func bindsBufferedMake(info *types.Info, lhs, rhs ast.Expr, ch types.Object) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || objOf(info, id) != ch {
+		return false
+	}
+	return isBufferedMake(info, rhs)
+}
+
+// isBufferedMake reports whether e is make(chan T, n) with n not the
+// constant zero.
+func isBufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if tv, ok := info.Types[call.Fun]; !ok || !tv.IsBuiltin() {
+		return false
+	}
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return false
+	}
+	if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+		return false
+	}
+	return true
+}
+
+// provesCancellation: the literal selects on ctx.Done() or on a
+// channel the declaration closes outside the literal, or ranges over
+// such a channel.
+func provesCancellation(info *types.Info, declBody *ast.BlockStmt, lit *ast.FuncLit) bool {
+	ok := false
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.SelectStmt:
+			for _, cl := range nd.Body.List {
+				comm, isClause := cl.(*ast.CommClause)
+				if !isClause {
+					continue
+				}
+				if rx := commReceive(comm); rx != nil && isCancelSource(info, declBody, lit, rx) {
+					ok = true
+				}
+			}
+		case *ast.RangeStmt:
+			if _, isChan := chanType(info, nd.X); isChan && isCancelSource(info, declBody, lit, nd.X) {
+				ok = true
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// commReceive extracts the received-from expression of a select case,
+// or nil for sends and default.
+func commReceive(comm *ast.CommClause) ast.Expr {
+	var expr ast.Expr
+	switch s := comm.Comm.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(expr).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}
+
+// isCancelSource reports whether rx is ctx.Done() for a
+// context.Context, or a channel the declaration closes outside the
+// literal.
+func isCancelSource(info *types.Info, declBody *ast.BlockStmt, lit *ast.FuncLit, rx ast.Expr) bool {
+	if call, ok := ast.Unparen(rx).(*ast.CallExpr); ok {
+		fn := analysis.Callee(info, call)
+		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" && fn.Name() == "Done"
+	}
+	ch := recvObject(info, rx)
+	if ch == nil {
+		return false
+	}
+	closed := false
+	inspectOutside(declBody, lit, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok || closed {
+			return !closed
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if ok && id.Name == "close" && len(call.Args) == 1 {
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsBuiltin() && recvObject(info, call.Args[0]) == ch {
+				closed = true
+			}
+		}
+		return !closed
+	})
+	return closed
+}
+
+func chanType(info *types.Info, e ast.Expr) (*types.Chan, bool) {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil, false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	return ch, ok
+}

@@ -1,0 +1,80 @@
+// Package a exercises the goroleak analyzer: every go statement here
+// lacks a provable termination path and must be reported.
+package a
+
+import "sync"
+
+func work(int) {}
+
+func launchNamed() {
+	go work(1) // want `go statement in launchNamed launches a named function`
+}
+
+func launchBare() {
+	go func() { // want `goroutine launched in launchBare has no provable termination path`
+		work(2)
+	}()
+}
+
+// Done without a matching Wait: the goroutine signals a join nobody
+// takes.
+func doneWithoutWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine launched in doneWithoutWait has no provable termination path`
+		defer wg.Done()
+		work(3)
+	}()
+}
+
+// Done and Wait on different WaitGroups.
+func mismatchedWaitGroups() {
+	var a, b sync.WaitGroup
+	a.Add(1)
+	go func() { // want `goroutine launched in mismatchedWaitGroups has no provable termination path`
+		defer a.Done()
+		work(4)
+	}()
+	b.Wait()
+}
+
+// Final send on an unbuffered channel: the send blocks forever if the
+// launcher bails out before receiving.
+func unbufferedResult() {
+	errc := make(chan error)
+	go func() { // want `goroutine launched in unbufferedResult has no provable termination path`
+		errc <- nil
+	}()
+	<-errc
+}
+
+// Buffered channel the launcher never receives from: the value has
+// nowhere to go on the normal path.
+func bufferedNeverReceived() {
+	errc := make(chan error, 1)
+	go func() { // want `goroutine launched in bufferedNeverReceived has no provable termination path`
+		errc <- nil
+	}()
+	_ = errc
+}
+
+// A select that only receives data, with no cancellation source.
+func selectWithoutCancel(data chan int) {
+	go func() { // want `goroutine launched in selectWithoutCancel has no provable termination path`
+		for {
+			select {
+			case v := <-data:
+				work(v)
+			}
+		}
+	}()
+}
+
+// Ranging over a channel nobody lexically closes.
+func rangeNeverClosed(jobs chan int) {
+	go func() { // want `goroutine launched in rangeNeverClosed has no provable termination path`
+		for v := range jobs {
+			work(v)
+		}
+	}()
+}

@@ -1,0 +1,93 @@
+// Package clean holds one example of every goroutine-join pattern
+// goroleak accepts; the analyzer must report nothing here.
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+func work(int) {}
+
+// WaitGroup join, local variable.
+func waitGroupPool(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// WaitGroup join through a struct field.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) spawn() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work(0)
+	}()
+	p.wg.Wait()
+}
+
+// Final send on a buffered channel the launcher receives from: the
+// cmd/priod Serve shape.
+func bufferedResult() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}
+
+// Buffered result declared with var-spec binding rather than :=.
+func bufferedVarSpec() error {
+	var errc = make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}
+
+// Cancellation via ctx.Done.
+func cancellable(ctx context.Context, data chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-data:
+				work(v)
+			}
+		}
+	}()
+}
+
+// Cancellation via a quit channel the launcher closes.
+func closedQuit() {
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-quit:
+			return
+		}
+	}()
+	close(quit)
+}
+
+// Ranging over a channel the launcher closes.
+func rangeOverClosed() {
+	jobs := make(chan int)
+	go func() {
+		for v := range jobs {
+			work(v)
+		}
+	}()
+	close(jobs)
+}

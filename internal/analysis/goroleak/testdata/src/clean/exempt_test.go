@@ -1,0 +1,8 @@
+package clean
+
+// Goroutines launched from _test.go files are exempt: the test
+// framework bounds their lifetime. This named launch would be a
+// finding in non-test code.
+func helperLaunch() {
+	go work(9)
+}

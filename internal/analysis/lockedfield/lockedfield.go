@@ -4,6 +4,15 @@
 // mutex, is marked as lock-held by the conventional "...Locked" name
 // suffix, or is a constructor of the struct. See repro/internal/analysis
 // for the convention.
+//
+// Two annotation forms are accepted. The sibling form, `guarded by mu`,
+// names a mutex field of the same struct. The qualified form,
+// `guarded by Owner.mu`, names a mutex field of another struct in the
+// same package — the shape of the serving layer's tenant cache, where
+// tenantEntry's fields are guarded by the enclosing tenantCaches.mu
+// because entries only exist inside that container. Both forms are
+// validated: an annotation naming a type or field that does not exist
+// is itself a diagnostic, so guards cannot silently rot.
 package lockedfield
 
 import (
@@ -22,12 +31,21 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-var guardedRE = regexp.MustCompile(`guarded by (\w+)`)
+var guardedRE = regexp.MustCompile(`guarded by (\w+(?:\.\w+)?)`)
 
 // guard describes one annotated field.
 type guard struct {
-	mutex string          // name of the sibling mutex field
+	mutex string          // annotation text: "mu" or "Owner.mu"
 	owner *types.TypeName // the struct's type name, for the constructor exemption
+}
+
+// muName is the mutex field's own name: the part after the dot for a
+// qualified guard, the whole annotation for a sibling guard.
+func (g guard) muName() string {
+	if i := strings.LastIndex(g.mutex, "."); i >= 0 {
+		return g.mutex[i+1:]
+	}
+	return g.mutex
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -87,7 +105,13 @@ func collectGuards(pass *analysis.Pass) map[types.Object]guard {
 				if !ok {
 					continue
 				}
-				if !fieldNames[mu] {
+				if qualType, qualField, qualified := strings.Cut(mu, "."); qualified {
+					if !typeHasField(pass, qualType, qualField) {
+						pass.Reportf(f.Pos(), "field annotated `guarded by %s` but package %s has no struct type %s with field %s",
+							mu, pass.Pkg.Name(), qualType, qualField)
+						continue
+					}
+				} else if !fieldNames[mu] {
 					pass.Reportf(f.Pos(), "field annotated `guarded by %s` but %s has no field %s",
 						mu, owner.Name(), mu)
 					continue
@@ -118,6 +142,25 @@ func annotation(f *ast.Field) (string, bool) {
 	return "", false
 }
 
+// typeHasField reports whether the package declares a struct type with
+// the given name carrying a field of the given name.
+func typeHasField(pass *analysis.Pass, typeName, fieldName string) bool {
+	tn, ok := pass.Pkg.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return false
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == fieldName {
+			return true
+		}
+	}
+	return false
+}
+
 // fieldObject resolves a selector to the field it accesses, or nil.
 func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
 	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
@@ -134,7 +177,7 @@ func accessAllowed(pass *analysis.Pass, g guard, stack []ast.Node) bool {
 		switch f := stack[i].(type) {
 		case *ast.FuncLit:
 			sawFunc = true
-			if locksMutex(pass, f.Body, g.mutex) {
+			if locksMutex(pass, f.Body, g.muName()) {
 				return true
 			}
 		case *ast.FuncDecl:
@@ -142,7 +185,7 @@ func accessAllowed(pass *analysis.Pass, g guard, stack []ast.Node) bool {
 			if strings.HasSuffix(f.Name.Name, "Locked") {
 				return true
 			}
-			if locksMutex(pass, f.Body, g.mutex) {
+			if locksMutex(pass, f.Body, g.muName()) {
 				return true
 			}
 			if isConstructor(pass, f, g.owner) {

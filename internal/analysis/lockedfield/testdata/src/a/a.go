@@ -57,3 +57,23 @@ func (c *cache) lockedClosure() func() int {
 type badAnnotation struct { // the annotation itself is checked
 	data int // want `has no field lock` // guarded by lock
 }
+
+// The qualified form: fields of a contained struct guarded by the
+// container's mutex.
+
+type container struct {
+	mu    sync.Mutex
+	items map[string]*item
+}
+
+type item struct {
+	hits int // guarded by container.mu
+}
+
+func (it *item) bump() {
+	it.hits++ // want `access to item.hits \(guarded by container.mu\) outside a function that locks container.mu`
+}
+
+type badQualified struct {
+	data int // want `has no struct type missing with field mu` // guarded by missing.mu
+}

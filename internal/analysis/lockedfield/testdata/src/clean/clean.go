@@ -40,3 +40,27 @@ type plain struct {
 }
 
 func (p *plain) Get() int { return p.x }
+
+// The qualified form: item's fields are guarded by the enclosing
+// container's mutex, because items only exist inside the container.
+
+type container struct {
+	mu    sync.Mutex
+	items map[string]*item
+}
+
+type item struct {
+	hits int // guarded by container.mu
+}
+
+func (c *container) bump(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if it := c.items[name]; it != nil {
+		it.hits++
+	}
+}
+
+func (it *item) resetLocked() {
+	it.hits = 0
+}

@@ -13,7 +13,9 @@
 // value-to-interface boxing, escaping function literals (closure
 // captures), goroutine launches, and any call into package fmt or
 // another package whose source was not loaded (except the pure-math
-// whitelist: math, math/bits).
+// whitelist — math, math/bits — and the per-function steady-state
+// whitelist below: strconv's Append* family and bytes.Buffer's Write*
+// methods, which allocate only while growing a caller-owned buffer).
 //
 // # What is exempt: the steady-state contract
 //
@@ -95,6 +97,24 @@ const Annotation = "prio:noalloc"
 var extWhitelist = map[string]bool{
 	"math":      true,
 	"math/bits": true,
+}
+
+// steadyStateExt lists individual external functions that allocate
+// only while growing a caller-owned buffer to its high-water mark —
+// the external-call form of the self-append exemption. strconv's
+// Append* family writes into the slice it is handed and reallocates
+// only on growth; bytes.Buffer's Write* methods do the same with the
+// buffer's retained backing array. The serving layer's pooled response
+// encoder (internal/serve.writePrioritizeJSON) is built from exactly
+// these.
+var steadyStateExt = map[string]bool{
+	"strconv.AppendInt":           true,
+	"strconv.AppendUint":          true,
+	"strconv.AppendQuote":         true,
+	"utf8.AppendRune":             true,
+	"bytes.(*Buffer).Write":       true,
+	"bytes.(*Buffer).WriteString": true,
+	"bytes.(*Buffer).WriteByte":   true,
 }
 
 // site is one direct allocation site inside a function body. guards
@@ -196,6 +216,9 @@ siteLoop:
 		case e.Kind == callgraph.Interface && e.Callee.InTest:
 			// Test doubles are exempt from the steady-state contract.
 		case e.Callee.Body == nil:
+			if steadyStateExt[e.Callee.Key] {
+				break
+			}
 			if pkg := nodePkgPath(e.Callee); !extWhitelist[pkg] {
 				c.report(root, path, e.Pos,
 					fmt.Sprintf("a call to %s, whose source is not loaded (run on ./... to verify it)", e.Callee.Key))

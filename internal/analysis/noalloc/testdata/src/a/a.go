@@ -3,7 +3,10 @@
 // naming the call path for indirect cases.
 package a
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 //prio:noalloc
 func directMake() []int { // want `directMake is annotated //prio:noalloc but can reach a make`
@@ -88,4 +91,12 @@ func (greedy) next() []int { return make([]int, 1) }
 //prio:noalloc
 func dispatches(p policy) { // want `dispatches is annotated //prio:noalloc but can reach a make at a.go:\d+ \(path: dispatches → \(greedy\).next\)`
 	p.next()
+}
+
+// Only the Append* family is whitelisted: strconv functions that
+// return fresh strings still allocate.
+
+//prio:noalloc
+func formats(n int) string { // want `formats is annotated //prio:noalloc but can reach a call to strconv.FormatInt`
+	return strconv.FormatInt(int64(n), 10)
 }

@@ -1,0 +1,117 @@
+// Package reach is the handler-rooted reachability layer shared by the
+// serving-layer analyzers (ctxflow, chanbound, respdet): it finds the
+// HTTP handler functions in a whole-program call graph and walks the
+// functions reachable from a root set, carrying the call path for
+// diagnostics.
+//
+// Traversal follows static edges (including the implicit
+// encloser-to-literal edges, so closure bodies are covered) and
+// interface edges to every implementation loaded from source, skipping
+// implementations declared in _test.go files — test doubles never run
+// under the daemon. Dynamic edges (calls through unresolved function
+// values) are not followed; the serving analyzers compensate by rooting
+// at every handler-shaped function, so a handler invoked through a
+// stored function value is still analyzed from its own declaration.
+package reach
+
+import (
+	"go/types"
+
+	"repro/internal/analysis/callgraph"
+)
+
+// NodeSig returns the node's signature: the declared function's type,
+// or the literal's checked type. Nil for external nodes without a
+// usable type.
+func NodeSig(n *callgraph.Node) *types.Signature {
+	if n.Func != nil {
+		sig, _ := n.Func.Type().(*types.Signature)
+		return sig
+	}
+	if n.Lit != nil && n.Pkg != nil {
+		sig, _ := n.Pkg.Info.TypeOf(n.Lit).(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// HandlerSig reports whether sig is the http.HandlerFunc shape:
+// func(http.ResponseWriter, *http.Request) with no results.
+func HandlerSig(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	return isNamed(sig.Params().At(0).Type(), "net/http", "ResponseWriter") &&
+		isPtrToNamed(sig.Params().At(1).Type(), "net/http", "Request")
+}
+
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+func isPtrToNamed(t types.Type, pkgPath, name string) bool {
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	return ok && isNamed(ptr.Elem(), pkgPath, name)
+}
+
+// Handlers returns every non-test handler-shaped function loaded from
+// source, in graph (declaration) order: named handlers like
+// (*Server).handlePrioritize and handler-shaped literals like the
+// instrumentation wrapper's closure.
+func Handlers(g *callgraph.Graph) []*callgraph.Node {
+	var roots []*callgraph.Node
+	for _, n := range g.Nodes {
+		if n.Body == nil || n.InTest {
+			continue
+		}
+		if HandlerSig(NodeSig(n)) {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// Walk visits every function with a loaded body reachable from roots,
+// breadth-first in deterministic graph order, calling visit once per
+// node with the call path (node names, root first, ending at the node
+// itself). Interface edges to _test.go implementations and dynamic
+// edges are not followed; see the package comment.
+func Walk(roots []*callgraph.Node, visit func(n *callgraph.Node, path []string)) {
+	type item struct {
+		n    *callgraph.Node
+		path []string
+	}
+	seen := make(map[*callgraph.Node]bool)
+	var queue []item
+	for _, r := range roots {
+		if r.Body == nil || seen[r] {
+			continue
+		}
+		seen[r] = true
+		queue = append(queue, item{r, []string{r.Name()}})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		visit(it.n, it.path)
+		for _, e := range it.n.Out {
+			c := e.Callee
+			if c == nil || c.Body == nil || seen[c] {
+				continue
+			}
+			if e.Kind == callgraph.Interface && c.InTest {
+				continue
+			}
+			seen[c] = true
+			path := make([]string, len(it.path)+1)
+			copy(path, it.path)
+			path[len(it.path)] = c.Name()
+			queue = append(queue, item{c, path})
+		}
+	}
+}

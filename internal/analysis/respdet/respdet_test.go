@@ -1,0 +1,12 @@
+package respdet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/respdet"
+)
+
+func TestRespdet(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), respdet.Analyzer, "a", "clean")
+}

@@ -1,0 +1,85 @@
+// Package a exercises the respdet analyzer: every annotated function
+// here can reach a nondeterminism source — a clock read, global
+// randomness, process state, or order-dependent map iteration — and
+// must be reported at its declaration.
+package a
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+//prio:deterministic
+func stamped() int64 { // want `stamped is annotated //prio:deterministic but can reach time.Now, which reads the clock`
+	return time.Now().UnixNano()
+}
+
+// The clock read two hops away is reported with the call path.
+
+//prio:deterministic
+func viaHelper() time.Duration { // want `viaHelper is annotated //prio:deterministic but can reach time.Since, which reads the clock at a.go:\d+ \(path: viaHelper → elapsed\)`
+	return elapsed()
+}
+
+func elapsed() time.Duration {
+	var t0 time.Time
+	return time.Since(t0)
+}
+
+//prio:deterministic
+func draws() int { // want `draws is annotated //prio:deterministic but can reach math/rand.Intn, which draws from the process-global random source`
+	return rand.Intn(10)
+}
+
+//prio:deterministic
+func readsProc() []byte { // want `readsProc is annotated //prio:deterministic but can reach os.ReadFile, which reads process or filesystem state`
+	b, _ := os.ReadFile("/proc/self/status")
+	return b
+}
+
+// Keys collected from a map but never sorted leak iteration order.
+
+//prio:deterministic
+func leaksOrder(m map[string]int) []string { // want `leaksOrder is annotated //prio:deterministic but can reach a range over map m whose body depends on iteration order`
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Float accumulation does not commute: summing in iteration order can
+// change the low bits run to run.
+
+//prio:deterministic
+func floatAccum(m map[string]float64) float64 { // want `floatAccum is annotated //prio:deterministic but can reach a range over map m whose body depends on iteration order`
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Returning from inside a map range picks whichever entry iteration
+// order offers first; the order dependence is reported even one call
+// away from the annotated root.
+
+//prio:deterministic
+func indirectOrder(m map[string]int) int { // want `indirectOrder is annotated //prio:deterministic but can reach a range over map m whose body depends on iteration order at a.go:\d+ \(path: indirectOrder → pick\)`
+	return pick(m)
+}
+
+func pick(m map[string]int) int {
+	for _, v := range m {
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// stamp is not annotated: the same clock read draws no finding.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,92 @@
+// Package clean holds the deterministic idioms respdet accepts: the
+// collect-then-sort discipline, commutative integer accumulation,
+// keyed map-to-map writes, loop-local scratch, and explicitly seeded
+// randomness.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Collect keys, then repair the order: the canonical discipline.
+
+//prio:deterministic
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// A range binding no variables has indistinguishable iterations.
+
+//prio:deterministic
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Integer accumulation commutes.
+
+//prio:deterministic
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+type stats struct {
+	total int
+}
+
+// Integer accumulation into a struct field commutes too.
+
+//prio:deterministic
+func tally(m map[string]int, s *stats) {
+	for _, v := range m {
+		s.total += v
+	}
+}
+
+// Writing another map at the loop key touches each entry exactly once:
+// the result is order-independent.
+
+//prio:deterministic
+func invert(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Loop-local scratch cannot escape the iteration.
+
+//prio:deterministic
+func countNegative(m map[string]int) int {
+	neg := 0
+	for _, v := range m {
+		w := v
+		if w < 0 {
+			neg++
+		}
+	}
+	return neg
+}
+
+// Explicitly seeded randomness is replayable: constructors and methods
+// on the seeded value are fine; only package-level draws are banned.
+
+//prio:deterministic
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"strconv"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/core"
 	"repro/internal/dag"
@@ -307,7 +308,7 @@ func writePrioritizeJSON(sc *scratch, g *dag.Frozen, sched *core.Schedule) {
 		buf.Write(sc.qbuf)
 	}
 	quoted := func(name string) {
-		sc.qbuf = strconv.AppendQuote(sc.qbuf[:0], name)
+		sc.qbuf = appendJSONString(sc.qbuf[:0], name)
 		buf.Write(sc.qbuf)
 	}
 	buf.WriteString(`{"jobs":`)
@@ -335,6 +336,40 @@ func writePrioritizeJSON(sc *scratch, g *dag.Frozen, sched *core.Schedule) {
 		num(sched.Priority[v])
 	}
 	buf.WriteString("}}\n")
+}
+
+// jsonHex digits for \u00XX control-character escapes.
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString appends s to dst as an RFC 8259 string literal.
+// strconv.AppendQuote is not usable here: it emits Go string-literal
+// escapes (\xff for invalid UTF-8, \U0001F600 for runes outside the
+// BMP's escape range) that JSON decoders reject — FuzzPrioritizeRequest
+// found exactly that with a job named "\xff". Invalid UTF-8 becomes
+// U+FFFD, matching encoding/json.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			dst = append(dst, '\\', '"')
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		case '\r':
+			dst = append(dst, '\\', 'r')
+		case '\t':
+			dst = append(dst, '\\', 't')
+		default:
+			if r < 0x20 {
+				dst = append(dst, '\\', 'u', '0', '0', jsonHex[r>>4], jsonHex[r&0xf])
+			} else {
+				dst = utf8.AppendRune(dst, r)
+			}
+		}
+	}
+	return append(dst, '"')
 }
 
 // simResponse is the /v1/simulate document.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -22,8 +23,8 @@ type tenantCaches struct {
 }
 
 type tenantEntry struct {
-	cache   *core.Cache
-	lastUse int64
+	cache   *core.Cache // guarded by tenantCaches.mu (the Cache has its own internal lock)
+	lastUse int64       // guarded by tenantCaches.mu
 }
 
 func newTenantCaches(max int) *tenantCaches {
@@ -41,13 +42,21 @@ func (t *tenantCaches) get(tenant string) *core.Cache {
 		return e.cache
 	}
 	if len(t.entries) >= t.max {
-		// Evict the LRU entry. lastUse values are unique (the clock
-		// ticks on every get), so the minimum — and therefore the
-		// eviction choice — does not depend on map iteration order.
-		var victim string
+		// Evict the LRU entry over a sorted key list, not the raw map:
+		// lastUse values are unique (the clock ticks on every get), so
+		// the minimum never depends on iteration order — but scanning in
+		// sorted order makes that provable (the respdet analyzer's
+		// collect-then-sort discipline) and keeps eviction deterministic
+		// even if the uniqueness invariant ever breaks.
+		names := make([]string, 0, len(t.entries))
+		for name := range t.entries {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		victim := ""
 		oldest := int64(1<<63 - 1)
-		for name, e := range t.entries {
-			if e.lastUse < oldest {
+		for _, name := range names {
+			if e := t.entries[name]; e.lastUse < oldest {
 				oldest, victim = e.lastUse, name
 			}
 		}
