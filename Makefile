@@ -51,20 +51,25 @@ bench:
 # Replication-kernel throughput: run the simulation-engine benchmarks,
 # archive the raw text in results/engine-bench.txt, and emit
 # machine-readable BENCH_sim.json (reps/s, allocs/op per benchmark).
-# The zero-alloc assertion makes this a gate, not just a report:
-# BenchmarkRunAIRSN is the pre-engine per-run cost (fresh state every
-# replication) kept for comparison, BenchmarkRunKernel the pooled
-# kernel that must stay allocation-free.
+# The zero-alloc and zero-byte assertions make this a gate, not just a
+# report: BenchmarkRunAIRSN is the pre-engine per-run cost (fresh state
+# every replication) kept for comparison, BenchmarkRunKernel the pooled
+# kernel that must stay allocation-free — B/op included, so amortized
+# slice regrowth (which rounds to 0 allocs/op) cannot creep back in.
 bench-sim:
 	mkdir -p results
 	$(GO) test ./internal/sim -run xxx -bench 'BenchmarkRunKernel|BenchmarkEngineGrid|BenchmarkRunAIRSN' -benchmem > results/engine-bench.txt
 	cat results/engine-bench.txt
-	$(GO) run ./cmd/benchjson -assert-zero-allocs 'RunKernel/' -o BENCH_sim.json results/engine-bench.txt
+	$(GO) run ./cmd/benchjson -assert-zero-allocs 'RunKernel/' -assert-zero-bytes 'RunKernel/' -o BENCH_sim.json results/engine-bench.txt
 
-# Short form for CI: a few hundred kernel replications, just enough for
-# the steady-state zero-alloc property to be enforced on every PR.
+# Short form for CI: a few hundred kernel replications, enough for the
+# steady-state zero-alloc/zero-byte gates plus a coarse ns/op trend
+# check against the checked-in BENCH_sim.json — a kernel change that
+# loses more than 15% throughput on the measured subset fails here
+# instead of landing silently (refresh the baseline with `make
+# bench-sim` when a slowdown is intentional).
 bench-sim-smoke:
-	$(GO) test ./internal/sim -run xxx -bench 'BenchmarkRunKernel/airsn' -benchtime 200x -benchmem | $(GO) run ./cmd/benchjson -assert-zero-allocs 'RunKernel/'
+	$(GO) test ./internal/sim -run xxx -bench 'BenchmarkRunKernel/airsn' -benchtime 2000x -benchmem | $(GO) run ./cmd/benchjson -assert-zero-allocs 'RunKernel/' -assert-zero-bytes 'RunKernel/' -assert-ns-trend BENCH_sim.json -ns-tolerance 1.15
 
 # Frozen-core allocation gate: the end-to-end parse -> Graph ->
 # Prioritize path on the AIRSN/Inspiral/SDSS dags, archived as raw text

@@ -16,6 +16,18 @@
 // -assert-zero-allocs RE exits nonzero if any benchmark whose name
 // matches RE reports allocs/op > 0; CI uses it to enforce the
 // replication kernel's zero-alloc steady state on every PR.
+// -assert-zero-bytes RE is the same gate on B/op — stricter than
+// allocs/op alone, since amortized slice regrowth can report 0
+// allocs/op (the allocation count rounds down) while still moving
+// kilobytes per op.
+//
+// -assert-ns-trend FILE exits nonzero if any benchmark present in both
+// the run and the baseline JSON (a previous benchjson output, e.g. the
+// checked-in BENCH_sim.json) reports more than -ns-tolerance times its
+// baseline ns/op. Unlike the allocs gates this is a wall-clock
+// assertion, so the default tolerance (1.15) leaves room for machine
+// noise while still catching real regressions; benchmarks only in the
+// baseline are ignored, letting a smoke run assert a subset.
 //
 // -assert-allocs-baseline FILE exits nonzero if any benchmark present
 // in the baseline JSON (a previous benchjson output) is missing from
@@ -26,8 +38,9 @@
 // Usage:
 //
 //	go test ./internal/sim -bench . -benchmem | benchjson [-o out.json]
-//	        [-assert-zero-allocs 'RunKernel/']
+//	        [-assert-zero-allocs 'RunKernel/'] [-assert-zero-bytes 'RunKernel/']
 //	        [-assert-allocs-baseline baseline.json [-allocs-tolerance 1.1]]
+//	        [-assert-ns-trend BENCH_sim.json [-ns-tolerance 1.15]]
 package main
 
 import (
@@ -138,6 +151,65 @@ func assertZeroAllocs(rep Report, re *regexp.Regexp) error {
 	return nil
 }
 
+// assertZeroBytes returns an error naming every benchmark matching re
+// that reports B/op > 0. It exists separately from assertZeroAllocs
+// because testing counts the two independently: a once-per-many-ops
+// slice regrowth can round to 0 allocs/op while its bytes stay visible
+// in B/op.
+func assertZeroBytes(rep Report, re *regexp.Regexp) error {
+	var bad []string
+	for _, b := range rep.Benchmarks {
+		if re.MatchString(b.Name) && b.Metrics["B/op"] > 0 {
+			bad = append(bad, fmt.Sprintf("%s: %g B/op", b.Name, b.Metrics["B/op"]))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("benchmarks move bytes in steady state:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// assertNsTrend compares the report's ns/op against a baseline Report:
+// every benchmark present in both must not exceed tolerance times its
+// baseline ns/op. Benchmarks only in the baseline are skipped — smoke
+// runs assert the subset they measure — and a benchmark without ns/op
+// on either side is ignored.
+func assertNsTrend(rep Report, baselinePath string, tolerance float64) error {
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		return fmt.Errorf("-assert-ns-trend: %w", err)
+	}
+	defer f.Close()
+	var base Report
+	if err := json.NewDecoder(f).Decode(&base); err != nil {
+		return fmt.Errorf("-assert-ns-trend: parse %s: %w", baselinePath, err)
+	}
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	var bad []string
+	for _, got := range rep.Benchmarks {
+		want, ok := baseline[got.Name]
+		if !ok {
+			continue
+		}
+		ns, haveNs := got.Metrics["ns/op"]
+		baseNs, haveBase := want.Metrics["ns/op"]
+		if !haveNs || !haveBase || baseNs <= 0 {
+			continue
+		}
+		if limit := baseNs * tolerance; ns > limit {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op, baseline %.0f (limit %.0f, +%.0f%%)",
+				got.Name, ns, baseNs, limit, (ns/baseNs-1)*100))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("ns/op regressed against %s:\n  %s", baselinePath, strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
 // assertAllocsBaseline compares the report's allocs/op against a
 // checked-in baseline Report (a previous benchjson output): every
 // benchmark present in the baseline must appear in the report and must
@@ -183,8 +255,11 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("o", "", "write JSON here instead of stdout")
 	zeroRE := fs.String("assert-zero-allocs", "", "fail if a benchmark matching this regexp reports allocs/op > 0")
+	zeroBytesRE := fs.String("assert-zero-bytes", "", "fail if a benchmark matching this regexp reports B/op > 0")
 	baseline := fs.String("assert-allocs-baseline", "", "fail if allocs/op regresses against this baseline JSON (a previous benchjson output)")
 	tolerance := fs.Float64("allocs-tolerance", 1.10, "allowed allocs/op growth factor for -assert-allocs-baseline")
+	nsTrend := fs.String("assert-ns-trend", "", "fail if ns/op regresses against this baseline JSON (a previous benchjson output)")
+	nsTolerance := fs.Float64("ns-tolerance", 1.15, "allowed ns/op growth factor for -assert-ns-trend")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -231,8 +306,22 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			return err
 		}
 	}
+	if *zeroBytesRE != "" {
+		re, err := regexp.Compile(*zeroBytesRE)
+		if err != nil {
+			return fmt.Errorf("-assert-zero-bytes: %w", err)
+		}
+		if err := assertZeroBytes(rep, re); err != nil {
+			return err
+		}
+	}
 	if *baseline != "" {
-		return assertAllocsBaseline(rep, *baseline, *tolerance)
+		if err := assertAllocsBaseline(rep, *baseline, *tolerance); err != nil {
+			return err
+		}
+	}
+	if *nsTrend != "" {
+		return assertNsTrend(rep, *nsTrend, *nsTolerance)
 	}
 	return nil
 }

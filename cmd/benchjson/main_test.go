@@ -119,6 +119,63 @@ func TestAssertAllocsBaseline(t *testing.T) {
 	}
 }
 
+func TestAssertZeroBytes(t *testing.T) {
+	var out strings.Builder
+	// The sdss/fifo line moves 5120 B/op at 0 allocs/op — exactly the
+	// amortized-regrowth shape the bytes gate exists to catch and the
+	// allocs gate misses.
+	if err := run([]string{"-assert-zero-allocs", "RunKernel/"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatalf("allocs gate should pass (both kernels report 0 allocs/op): %v", err)
+	}
+	err := run([]string{"-assert-zero-bytes", "RunKernel/"}, strings.NewReader(sample), &out)
+	if err == nil || !strings.Contains(err.Error(), "sdss/fifo") || !strings.Contains(err.Error(), "5120 B/op") {
+		t.Fatalf("bytes gate missed the regrowth: %v", err)
+	}
+	if err := run([]string{"-assert-zero-bytes", "RunKernel/airsn"}, strings.NewReader(sample), &out); err != nil {
+		t.Fatalf("clean benchmark failed the bytes gate: %v", err)
+	}
+	if err := run([]string{"-assert-zero-bytes", "("}, strings.NewReader(sample), &out); err == nil {
+		t.Fatal("bad regexp accepted")
+	}
+}
+
+func TestAssertNsTrend(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	var out strings.Builder
+	if err := run([]string{"-o", base}, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-assert-ns-trend", base}, strings.NewReader(sample), &out); err != nil {
+		t.Fatalf("identical run regressed against its own baseline: %v", err)
+	}
+	// +10% stays inside the default 1.15 tolerance.
+	slight := strings.ReplaceAll(sample, "72685 ns/op", "79900 ns/op")
+	if err := run([]string{"-assert-ns-trend", base}, strings.NewReader(slight), &out); err != nil {
+		t.Fatalf("+10%% failed the default 15%% tolerance: %v", err)
+	}
+	// +20% fails, naming the benchmark; a looser tolerance re-admits it.
+	regressed := strings.ReplaceAll(sample, "72685 ns/op", "87300 ns/op")
+	err := run([]string{"-assert-ns-trend", base}, strings.NewReader(regressed), &out)
+	if err == nil || !strings.Contains(err.Error(), "airsn/prio") {
+		t.Fatalf("+20%% passed the trend gate: %v", err)
+	}
+	if err := run([]string{"-assert-ns-trend", base, "-ns-tolerance", "1.3"}, strings.NewReader(regressed), &out); err != nil {
+		t.Fatalf("+20%% failed a 30%% tolerance: %v", err)
+	}
+	// A smoke run measuring a subset asserts only that subset.
+	subset := strings.Join([]string{
+		"BenchmarkRunKernel/airsn/prio-4 100 72685 ns/op 0 B/op 0 allocs/op",
+		"BenchmarkNewToBaseline-4 100 5 ns/op 0 B/op 0 allocs/op",
+	}, "\n") + "\n"
+	if err := run([]string{"-assert-ns-trend", base}, strings.NewReader(subset), &out); err != nil {
+		t.Fatalf("subset run failed the trend gate: %v", err)
+	}
+	// Bad baselines are reported.
+	if err := run([]string{"-assert-ns-trend", filepath.Join(t.TempDir(), "nope.json")}, strings.NewReader(sample), &out); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
+
 func TestRunJSONRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var out strings.Builder

@@ -16,10 +16,21 @@
 // {2^0 .. 2^16}, with p = q = 300; defaults here are laptop-scale and
 // can be raised to paper scale with -p 300 -q 300 -scale 1.
 //
+// Paper-scale sweeps take hours, so they can be split and interrupted:
+// -shard i/n computes only every n-th grid point (1-based shard i),
+// -checkpoint FILE persists each completed point to a JSONL manifest,
+// and -resume reloads a manifest — skipping finished points and
+// rejecting a checkpoint that belongs to a different sweep. Rows
+// restored from the checkpoint print bit-identically to freshly
+// computed ones, so the concatenated output of shards 1..n (or of an
+// interrupted run and its resume) is byte-identical to one flat run.
+// See docs/OPERATIONS.md for the runbook.
+//
 // Usage:
 //
 //	simgrid -dag airsn [-scale 4] [-bit 10^-1,10^0,10^1] [-bs 2^2,2^4,2^6]
 //	        [-p 40] [-q 40] [-seed 1] [-workers N] [-format table|tsv|json]
+//	        [-shard i/n] [-checkpoint FILE [-resume]]
 package main
 
 import (
@@ -131,6 +142,9 @@ func run(args []string, w, ew io.Writer) error {
 	against := fs.String("against", "fifo", "denominator policy (same names)")
 	fail := fs.Float64("fail", 0, "per-assignment worker failure probability")
 	format := fs.String("format", "table", "output format: table, tsv, or json (one object per line)")
+	shardSpec := fs.String("shard", "", "compute only shard i of n, given as i/n (1-based); all shards must use an identical grid")
+	checkpoint := fs.String("checkpoint", "", "persist each completed grid point to this JSONL manifest")
+	resume := fs.Bool("resume", false, "reload -checkpoint and skip the points it already holds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,6 +152,13 @@ func run(args []string, w, ew io.Writer) error {
 	case "table", "tsv", "json":
 	default:
 		return fmt.Errorf("-format %q: want table, tsv, or json", *format)
+	}
+	shard, err := parseShard(*shardSpec)
+	if err != nil {
+		return err
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
 	}
 
 	g, label, err := cli.LoadDag(*dagSpec, *scale)
@@ -162,7 +183,7 @@ func run(args []string, w, ew io.Writer) error {
 		return err
 	}
 
-	opts := sim.ExperimentOptions{P: *p, Q: *q, Seed: *seed, Workers: *workers, Confidence: 95}
+	opts := sim.ExperimentOptions{P: *p, Q: *q, Seed: *seed, Workers: *workers, Confidence: 95, Shard: shard}
 	comment := func(f string, a ...any) {
 		if *format != "json" { // keep json output pure NDJSON
 			fmt.Fprintf(w, f, a...)
@@ -184,22 +205,74 @@ func run(args []string, w, ew io.Writer) error {
 		}
 	}
 
+	// Checkpointing: completed points already in the manifest are not
+	// recomputed (their rows print from the persisted distributions,
+	// bit-identically), and each newly computed point is appended as it
+	// finishes, so an interruption costs at most one in-flight point.
+	var have map[int]sim.PointSample
+	var save func(int, sim.PointSample)
+	var saveErr error
+	if *checkpoint != "" {
+		man, err := sim.OpenManifest(*checkpoint, g, points, numFactory().Name(), denFactory().Name(), opts, *resume)
+		if err != nil {
+			return err
+		}
+		defer man.Close()
+		have = man.Have()
+		save = func(i int, s sim.PointSample) {
+			if err := man.Append(i, points[i], s); err != nil && saveErr == nil {
+				saveErr = err
+			}
+		}
+		if len(have) > 0 {
+			fmt.Fprintf(ew, "checkpoint %s: %d/%d points already done\n", *checkpoint, len(have), len(points))
+		}
+	}
+
+	// The rows this invocation will print: owned by the shard or
+	// restored from the checkpoint. Foreign points (another shard's,
+	// not yet checkpointed) are skipped entirely.
+	covered := 0
+	for i := range points {
+		if _, ok := have[i]; ok || i%shard.Count == shard.Index {
+			covered++
+		}
+	}
+
 	start := time.Now()
+	done := 0
 	var rowErr error
-	sim.CompareGrid(g, points, numFactory, denFactory, opts, func(i int, c sim.Comparison) {
+	sim.CompareGridResume(g, points, numFactory, denFactory, opts, have, save, func(i int, c sim.Comparison) {
 		gp := sim.GridPoint{MuBIT: points[i].BatchInterarrival, MuBS: points[i].BatchSize, Comparison: c}
 		if err := writeRow(w, *format, gp); err != nil && rowErr == nil {
 			rowErr = err
 		}
+		done++
 		elapsed := time.Since(start)
-		eta := time.Duration(float64(elapsed) / float64(i+1) * float64(len(points)-i-1))
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(covered-done))
 		fmt.Fprintf(ew, "row %d/%d muBIT=%g muBS=%g elapsed=%v eta=%v\n",
-			i+1, len(points), gp.MuBIT, gp.MuBS,
+			done, covered, gp.MuBIT, gp.MuBS,
 			elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
 	})
 	if rowErr != nil {
 		return rowErr
 	}
+	if saveErr != nil {
+		return fmt.Errorf("checkpoint %s: %w", *checkpoint, saveErr)
+	}
 	comment("# total sweep time: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// parseShard parses the 1-based "-shard i/n" syntax into the engine's
+// 0-based Shard; an empty spec means the whole grid.
+func parseShard(spec string) (sim.Shard, error) {
+	if spec == "" {
+		return sim.Shard{Index: 0, Count: 1}, nil
+	}
+	var i, n int
+	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil || i < 1 || n < 1 || i > n {
+		return sim.Shard{}, fmt.Errorf("-shard %q: want i/n with 1 <= i <= n", spec)
+	}
+	return sim.Shard{Index: i - 1, Count: n}, nil
 }

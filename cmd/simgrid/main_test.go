@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -180,5 +181,64 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-format", "xml"}, &out, io.Discard); err == nil {
 		t.Fatal("bad -format accepted")
+	}
+	for _, spec := range []string{"0/2", "3/2", "2", "a/b", "-1/3"} {
+		if err := run([]string{"-shard", spec}, &out, io.Discard); err == nil {
+			t.Fatalf("bad -shard %q accepted", spec)
+		}
+	}
+	if err := run([]string{"-resume"}, &out, io.Discard); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
+	}
+}
+
+// TestRunShardResume pins the CLI-level merge contract: running shard
+// 1/2 into a checkpoint, then shard 2/2 with -resume against the same
+// checkpoint, prints (on the second invocation) the complete grid
+// byte-identical to one flat run — restored rows and computed rows are
+// indistinguishable in the output.
+func TestRunShardResume(t *testing.T) {
+	base := []string{
+		"-dag", "airsn", "-scale", "25",
+		"-bit", "10^0,10^1", "-bs", "2^2,2^4",
+		"-p", "3", "-q", "2", "-seed", "5", "-format", "json",
+	}
+	var flat strings.Builder
+	if err := run(base, &flat, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "grid.ckpt")
+	var first strings.Builder
+	if err := run(append(append([]string{}, base...), "-shard", "1/2", "-checkpoint", ckpt), &first, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var second strings.Builder
+	if err := run(append(append([]string{}, base...), "-shard", "2/2", "-checkpoint", ckpt, "-resume"), &second, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	if second.String() != flat.String() {
+		t.Fatalf("resumed shard 2/2 output differs from flat run:\n--- flat ---\n%s--- resumed ---\n%s", flat.String(), second.String())
+	}
+	// The first shard printed exactly its own rows: the even-indexed
+	// lines of the flat output.
+	flatLines := strings.Split(strings.TrimSuffix(flat.String(), "\n"), "\n")
+	var want []string
+	for i, ln := range flatLines {
+		if i%2 == 0 {
+			want = append(want, ln)
+		}
+	}
+	got := strings.Split(strings.TrimSuffix(first.String(), "\n"), "\n")
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("shard 1/2 output is not the even rows of the flat run:\n%s", first.String())
+	}
+
+	// A stale checkpoint (different seed) must be rejected, not merged.
+	stale := append(append([]string{}, base...), "-checkpoint", ckpt, "-resume", "-seed", "6")
+	var out strings.Builder
+	if err := run(stale, &out, io.Discard); err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("stale checkpoint accepted: %v", err)
 	}
 }

@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -38,6 +39,44 @@ type gridBlock struct {
 	execT, stall, util []float64
 }
 
+// PointSample holds the empirical sampling distributions of one grid
+// point — three metrics × two policies, P values each — exactly the
+// state a checkpoint manifest persists per completed point. Summaries
+// and ratio intervals are deterministic pure functions of these
+// distributions (stats.Summarize, stats.RatioInterval), so a Comparison
+// rebuilt from a PointSample is bit-identical to the one computed live.
+type PointSample struct {
+	ExecTime, Stalling, Utilization [2][]float64 // [side][sample], side 0 = A
+}
+
+// comparisonFromSample rebuilds a point's Comparison from persisted
+// sampling distributions. It must aggregate exactly as finalizeTo's
+// live path does — same Summarize, same RatioInterval — so resumed rows
+// are indistinguishable from computed ones.
+func comparisonFromSample(p Params, names [2]string, s PointSample, opts ExperimentOptions) Comparison {
+	var ms [2]PolicyMeasurements
+	for side := 0; side < 2; side++ {
+		pm := PolicyMeasurements{
+			Name:        names[side],
+			ExecTime:    s.ExecTime[side],
+			Stalling:    s.Stalling[side],
+			Utilization: s.Utilization[side],
+		}
+		pm.ExecSummary = stats.Summarize(pm.ExecTime)
+		pm.StallSummary = stats.Summarize(pm.Stalling)
+		pm.UtilSummary = stats.Summarize(pm.Utilization)
+		ms[side] = pm
+	}
+	return Comparison{
+		Params:      p,
+		A:           ms[0],
+		B:           ms[1],
+		ExecTime:    stats.RatioInterval(ms[0].ExecTime, ms[1].ExecTime, opts.Confidence),
+		Stalling:    stats.RatioInterval(ms[0].Stalling, ms[1].Stalling, opts.Confidence),
+		Utilization: stats.RatioInterval(ms[0].Utilization, ms[1].Utilization, opts.Confidence),
+	}
+}
+
 // CompareGrid measures policies a and b (numerator, denominator) at
 // every parameter point and returns one Comparison per point, in order.
 // All points share opts.Seed, matching a loop of Compare calls: the
@@ -46,11 +85,36 @@ type gridBlock struct {
 // all replications form one work list served by a single worker pool,
 // so no point's tail leaves workers idle.
 //
+// opts.Shard restricts computation to the points this shard owns
+// (index % Count == Index); the other points come back as zero
+// Comparisons and are not reported to progress. Use CompareGridResume
+// to fill them from a checkpoint.
+//
 // progress, when non-nil, is invoked as progress(i, comparison) for
-// each point in index order (point i is reported only after points
-// 0..i-1), from a worker goroutine; it must not call back into the
-// engine.
+// each covered point in index order (point i is reported only after
+// every covered point below i), from a worker goroutine; it must not
+// call back into the engine.
 func CompareGrid(g *dag.Frozen, points []Params, a, b func() Policy, opts ExperimentOptions, progress func(int, Comparison)) []Comparison {
+	return CompareGridResume(g, points, a, b, opts, nil, nil, progress)
+}
+
+// CompareGridResume is CompareGrid with checkpoint support: points
+// present in have are not recomputed — their Comparisons are rebuilt
+// from the persisted sampling distributions — and each newly computed
+// point is handed to save (when non-nil) as soon as it completes, in
+// index order, so an interrupted sweep can persist its progress row by
+// row. save and progress are serialized under the engine's lock and
+// must not call back into the engine.
+//
+// A point is covered when this shard owns it or have already holds it;
+// covered points are reported to progress in index order. The returned
+// slice always has len(points) entries, with zero Comparisons at
+// uncovered indices. Running every shard of a sweep against one shared
+// checkpoint therefore yields, on the last shard, the complete grid —
+// bit-identical to a single unsharded uninterrupted run (the
+// determinism contract above extends to Shard and to resume, and the
+// tests in engine_test.go pin it).
+func CompareGridResume(g *dag.Frozen, points []Params, a, b func() Policy, opts ExperimentOptions, have map[int]PointSample, save func(int, PointSample), progress func(int, Comparison)) []Comparison {
 	opts = opts.normalized()
 	for _, p := range points {
 		if err := p.validate(); err != nil {
@@ -62,16 +126,53 @@ func CompareGrid(g *dag.Frozen, points []Params, a, b func() Policy, opts Experi
 	}
 	factories := [2]func() Policy{a, b}
 	names := [2]string{a().Name(), b().Name()}
+	reps := opts.P * opts.Q
+
+	// Partition the grid: resumed points need no work, owned points are
+	// computed, foreign points (another shard's, not yet checkpointed)
+	// are left untouched.
+	const (
+		foreign = iota
+		resumed
+		computed
+	)
+	kind := make([]int, len(points))
+	pointBlock := make([]int, len(points)) // index into blocks, -1 when not computed
+	nCompute := 0
+	for i := range points {
+		pointBlock[i] = -1
+		if s, ok := have[i]; ok {
+			for side := 0; side < 2; side++ {
+				if len(s.ExecTime[side]) != opts.P || len(s.Stalling[side]) != opts.P || len(s.Utilization[side]) != opts.P {
+					panic(fmt.Sprintf("sim: resumed point %d has %d/%d/%d samples, want P=%d",
+						i, len(s.ExecTime[side]), len(s.Stalling[side]), len(s.Utilization[side]), opts.P))
+				}
+			}
+			kind[i] = resumed
+			continue
+		}
+		if i%opts.Shard.Count == opts.Shard.Index {
+			kind[i] = computed
+			pointBlock[i] = 2 * nCompute
+			nCompute++
+		}
+	}
 
 	// Pre-derive every replication seed exactly as the sequential
-	// driver did, before any simulation starts.
-	reps := opts.P * opts.Q
-	blocks := make([]gridBlock, 2*len(points))
+	// driver did, before any simulation starts. Each point's base
+	// source depends on opts.Seed alone, so skipping a point cannot
+	// shift any other point's seeds.
+	blocks := make([]gridBlock, 2*nCompute)
+	blockPoint := make([]int, 2*nCompute) // block index -> point index
 	for i, p := range points {
+		if kind[i] != computed {
+			continue
+		}
 		base := rng.New(opts.Seed)
 		for side := 0; side < 2; side++ {
 			stream := base.Split()
-			blk := &blocks[2*i+side]
+			blk := &blocks[pointBlock[i]+side]
+			blockPoint[pointBlock[i]+side] = i
 			blk.params = p
 			blk.side = side
 			blk.seeds = make([]uint64, reps)
@@ -84,19 +185,10 @@ func CompareGrid(g *dag.Frozen, points []Params, a, b func() Policy, opts Experi
 		}
 	}
 
-	total := 2 * len(points) * reps
+	total := 2 * nCompute * reps
 	workers := opts.Workers
 	if workers > total {
 		workers = total
-	}
-	// Chunked claiming: big enough to amortize the atomic, small enough
-	// that the final stragglers spread across workers.
-	chunk := total / (workers * 16)
-	if chunk < 1 {
-		chunk = 1
-	}
-	if chunk > 256 {
-		chunk = 256
 	}
 
 	out := make([]Comparison, len(points))
@@ -104,7 +196,9 @@ func CompareGrid(g *dag.Frozen, points []Params, a, b func() Policy, opts Experi
 	var mu sync.Mutex
 	pendingReps := make([]int, len(points)) // remaining replications per point
 	for i := range pendingReps {
-		pendingReps[i] = 2 * reps
+		if kind[i] == computed {
+			pendingReps[i] = 2 * reps
+		}
 	}
 	frontier := 0 // next point index to finalize, in order
 
@@ -113,22 +207,55 @@ func CompareGrid(g *dag.Frozen, points []Params, a, b func() Policy, opts Experi
 	finalizeTo := func() {
 		for frontier < len(points) && pendingReps[frontier] == 0 {
 			i := frontier
-			ba, bb := &blocks[2*i], &blocks[2*i+1]
-			ma := assembleMeasurements(names[0], ba.execT, ba.stall, ba.util, opts)
-			mb := assembleMeasurements(names[1], bb.execT, bb.stall, bb.util, opts)
-			out[i] = Comparison{
-				Params:      points[i],
-				A:           ma,
-				B:           mb,
-				ExecTime:    stats.RatioInterval(ma.ExecTime, mb.ExecTime, opts.Confidence),
-				Stalling:    stats.RatioInterval(ma.Stalling, mb.Stalling, opts.Confidence),
-				Utilization: stats.RatioInterval(ma.Utilization, mb.Utilization, opts.Confidence),
-			}
 			frontier++
+			switch kind[i] {
+			case foreign:
+				continue // another shard's point; leave the zero value
+			case resumed:
+				out[i] = comparisonFromSample(points[i], names, have[i], opts)
+			case computed:
+				ba, bb := &blocks[pointBlock[i]], &blocks[pointBlock[i]+1]
+				ma := assembleMeasurements(names[0], ba.execT, ba.stall, ba.util, opts)
+				mb := assembleMeasurements(names[1], bb.execT, bb.stall, bb.util, opts)
+				out[i] = Comparison{
+					Params:      points[i],
+					A:           ma,
+					B:           mb,
+					ExecTime:    stats.RatioInterval(ma.ExecTime, mb.ExecTime, opts.Confidence),
+					Stalling:    stats.RatioInterval(ma.Stalling, mb.Stalling, opts.Confidence),
+					Utilization: stats.RatioInterval(ma.Utilization, mb.Utilization, opts.Confidence),
+				}
+				if save != nil {
+					save(i, PointSample{
+						ExecTime:    [2][]float64{ma.ExecTime, mb.ExecTime},
+						Stalling:    [2][]float64{ma.Stalling, mb.Stalling},
+						Utilization: [2][]float64{ma.Utilization, mb.Utilization},
+					})
+				}
+			}
 			if progress != nil {
 				progress(i, out[i])
 			}
 		}
+	}
+
+	if total == 0 {
+		// Nothing to simulate (everything resumed or foreign): report
+		// the resumed rows and return.
+		mu.Lock()
+		finalizeTo()
+		mu.Unlock()
+		return out
+	}
+
+	// Chunked claiming: big enough to amortize the atomic, small enough
+	// that the final stragglers spread across workers.
+	chunk := total / (workers * 16)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 256 {
+		chunk = 256
 	}
 
 	var wg sync.WaitGroup
@@ -171,7 +298,7 @@ func CompareGrid(g *dag.Frozen, points []Params, a, b func() Policy, opts Experi
 					if hi > end {
 						hi = end
 					}
-					pendingReps[bi/2] -= hi - lo
+					pendingReps[blockPoint[bi]] -= hi - lo
 				}
 				finalizeTo()
 				mu.Unlock()

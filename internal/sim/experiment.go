@@ -26,6 +26,33 @@ type ExperimentOptions struct {
 	// of CPUs). Results are bit-identical for every Workers setting;
 	// see engine.go for the contract.
 	Workers int
+	// Shard restricts a sweep to a deterministic subset of the grid so
+	// several processes (or an interrupted one) can split a sweep and
+	// later merge bit-identical results; the zero value runs the whole
+	// grid. Like Workers, Shard never changes any computed row: each
+	// point's seeds are derived from Seed alone.
+	Shard Shard
+}
+
+// Shard names one slice of a sharded sweep: of the Count shards,
+// this process computes the grid points whose index i satisfies
+// i % Count == Index. The zero value means unsharded (one shard of
+// one). Shard assignment is by position in the points slice, so every
+// shard of a sweep must be launched with an identical grid.
+type Shard struct {
+	Index, Count int
+}
+
+// normalized maps the zero value to the whole grid and panics on an
+// impossible shard, mirroring the engine's treatment of invalid Params.
+func (s Shard) normalized() Shard {
+	if s.Count == 0 && s.Index == 0 {
+		return Shard{Index: 0, Count: 1}
+	}
+	if s.Count <= 0 || s.Index < 0 || s.Index >= s.Count {
+		panic(fmt.Sprintf("sim: invalid shard %d/%d", s.Index, s.Count))
+	}
+	return s
 }
 
 // DefaultExperimentOptions returns laptop-scale defaults.
@@ -47,6 +74,7 @@ func (o ExperimentOptions) normalized() ExperimentOptions {
 	if o.Workers <= 0 {
 		o.Workers = d.Workers
 	}
+	o.Shard = o.Shard.normalized()
 	return o
 }
 

@@ -15,40 +15,172 @@ import (
 // pooled buffers carry the previous run's high-water marks. The static
 // noalloc proof (make lint) shows the kernel cannot allocate; this
 // target shows the pooling it uses to get there never changes a
-// result. The seed corpus lives in testdata/fuzz/FuzzKernelReplication.
+// result.
+//
+// Two further references pin the order-free fast path (kernelfast.go):
+// every input also runs through the kernel with the fast path forced
+// off (noFast), which must agree bit for bit — for order-sensitive
+// policies that is the same path twice, for Oblivious inputs it is the
+// fast calendar against the sort-merge queue. And when the input lands
+// in the fast path's domain (Oblivious, no failures, no rollover), the
+// result is additionally checked against runNaiveOblivious, an
+// independent quadratic rescan specification that shares no eligibility
+// tracking, event queue, or id relabeling with either kernel. The seed
+// corpus lives in testdata/fuzz/FuzzKernelReplication.
 func FuzzKernelReplication(f *testing.F) {
 	f.Add([]byte{0xff, 0x0f}, uint8(0), uint16(100), uint16(400), uint8(0), false, uint64(1), uint64(2))
 	f.Add([]byte{0xaa, 0x55, 0x33}, uint8(1), uint16(30), uint16(800), uint8(15), false, uint64(7), uint64(7))
 	f.Add([]byte{0x01}, uint8(2), uint16(250), uint16(100), uint8(40), true, uint64(3), uint64(9))
+	// Fast-path domain: oblivious policies at zero failure probability,
+	// covering tiny and huge batch sizes and both seeds equal.
+	f.Add([]byte{0x07, 0xff, 0xf0}, uint8(0), uint16(5), uint16(1599), uint8(0), false, uint64(11), uint64(11))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x0f}, uint8(4), uint16(299), uint16(1), uint8(0), false, uint64(21), uint64(4))
 
 	f.Fuzz(func(t *testing.T, edges []byte, polSel uint8, muBIT, muBS uint16, failPct uint8, rollover bool, seed1, seed2 uint64) {
 		g := fuzzDag(edges)
 		p := Params{
 			// Clamp into the validated ranges; the shapes the paper
-			// sweeps (Section 4.2) all fall inside these.
+			// sweeps (Section 4.2) all fall inside these. The low bit of
+			// failPct gates failures entirely so half the input space
+			// lands in the fast path's no-failure domain.
 			BatchInterarrival: 0.05 + float64(muBIT%300)/100,
 			BatchSize:         0.5 + float64(muBS%1600)/100,
 			JobTimeMean:       1.0,
 			JobTimeStdDev:     0.1,
-			FailureProb:       float64(failPct%80) / 100,
+			FailureProb:       float64((failPct>>1)%80) / 100 * float64(failPct&1),
 			RolloverWorkers:   rollover,
 		}
-		names := []string{"prio", "fifo", "random", "prio-maxjobs=2"}
+		names := []string{"prio", "fifo", "random", "prio-maxjobs=2", "critpath"}
 		factory, err := PolicyFactory(names[int(polSel)%len(names)], g)
 		if err != nil {
 			t.Fatal(err)
 		}
 
 		runner := NewRunner(g)
+		slow := NewRunner(g)
+		slow.st.noFast = true
 		pooled := factory()
+		slowPol := factory()
 		for _, seed := range []uint64{seed1, seed2} {
 			got := runner.Run(p, pooled, seed)
 			want := Run(g, p, factory(), rng.New(seed))
 			if got != want {
 				t.Fatalf("seed %d: pooled kernel %+v, fresh run %+v", seed, got, want)
 			}
+			ordered := slow.Run(p, slowPol, seed)
+			if got != ordered {
+				t.Fatalf("seed %d: fast path %+v, ordered kernel %+v", seed, got, ordered)
+			}
+			if o, ok := pooled.(*Oblivious); ok && p.FailureProb == 0 && !p.RolloverWorkers {
+				naive := runNaiveOblivious(g, p, o.order, rng.New(seed))
+				if got != naive {
+					t.Fatalf("seed %d: kernel %+v, naive rescan %+v", seed, got, naive)
+				}
+			}
 		}
 	})
+}
+
+// runNaiveOblivious is the executable specification the fast path is
+// fuzzed against: a deliberately quadratic simulation of the oblivious
+// regimen with no shared machinery — eligibility is a full rescan of
+// every job's parents on every assignment, and pending completions sit
+// in an unsorted slice filtered per window. It consumes randomness in
+// the model's defined order (batch size, one job time per assignment
+// in rank order, interarrival) and must be bit-identical to both
+// kernels on the no-failure, no-rollover domain.
+func runNaiveOblivious(g *dag.Frozen, p Params, order []int, src *rng.Source) Metrics {
+	n := g.NumNodes()
+	rank := make([]int, n)
+	for r, v := range order {
+		rank[v] = r
+	}
+	executed := make([]bool, n)
+	assigned := make([]bool, n)
+	type ev struct {
+		at  float64
+		job int
+	}
+	var pending []ev
+	nextBatch := 0.0
+	done := 0
+	last := 0.0
+	batches, stalls, requests := 0, 0, 0
+	for done < n {
+		allAssigned := true
+		for v := 0; v < n; v++ {
+			if !assigned[v] {
+				allAssigned = false
+				break
+			}
+		}
+		kept := pending[:0]
+		for _, e := range pending {
+			if allAssigned || e.at <= nextBatch {
+				executed[e.job] = true
+				done++
+				if e.at > last {
+					last = e.at
+				}
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		pending = kept
+		if done == n {
+			break
+		}
+		if allAssigned {
+			continue
+		}
+
+		now := nextBatch
+		size := batchSize(src, p.BatchSize)
+		batches++
+		requests += size
+		served := 0
+		for i := 0; i < size; i++ {
+			best := -1
+			for v := 0; v < n; v++ {
+				if assigned[v] {
+					continue
+				}
+				ready := true
+				for _, u := range g.Parents(v) {
+					if !executed[u] {
+						ready = false
+						break
+					}
+				}
+				if ready && (best < 0 || rank[v] < rank[best]) {
+					best = v
+				}
+			}
+			if best < 0 {
+				break
+			}
+			served++
+			assigned[best] = true
+			d := src.Normal(p.JobTimeMean, p.JobTimeStdDev)
+			if d < 1e-3 {
+				d = 1e-3
+			}
+			pending = append(pending, ev{at: now + d, job: best})
+		}
+		if served == 0 {
+			stalls++
+		}
+		nextBatch = now + src.Exp(p.BatchInterarrival)
+	}
+
+	m := Metrics{ExecutionTime: last, Batches: batches, Requests: requests}
+	if batches > 0 {
+		m.StallProbability = float64(stalls) / float64(batches)
+	}
+	if requests > 0 {
+		m.Utilization = float64(n) / float64(requests)
+	}
+	return m
 }
 
 // fuzzDag decodes an arbitrary byte string into a small dag: the first

@@ -1,0 +1,452 @@
+// The order-free fast path of the replication kernel. The sort-merge
+// eventQueue in kernel.go exists to pop completions in exact global
+// time order, because order-sensitive policies (FIFO's eligibility
+// queue, Random's index draws, TwoLevel's DAGMan queue) and the
+// failure/rollover branches consume randomness or build state in pop
+// order. For the paper's headline policy that machinery is pure
+// overhead: an Oblivious policy is a *set* — Next pops the minimum
+// rank of the eligible set, a pure function of the set's contents — so
+// between two batch arrivals the order in which completions are
+// processed is unobservable. Profiling the SDSS kernel shows the burst
+// sort alone is ~40% of a replication; this file removes it.
+//
+// runFast exploits the order freedom three ways, each differential-
+// tested bit-identical to the ordered path (fuzz_test.go compares it
+// against both the forced-slow kernel and an independent naive-rescan
+// reference; the engine goldens pin it to the pre-refactor driver):
+//
+//   - batched event drains: all completions in the window (prevBatch,
+//     nextBatch] are processed in one pass, in bucket order rather than
+//     time order. Only their *set* matters: the running maximum
+//     reproduces lastCompletion (windows are disjoint in time, so the
+//     global maximum is popped in the final window either way), and the
+//     eligible set after the window is order-independent.
+//   - incremental eligibility straight into bitset words: the
+//     completion→children walk decrements fused {remaining, rank}
+//     records and sets the rank bit in a bitset.MinSet directly — no
+//     interface dispatch per child, no per-policy indirection — and
+//     assignment pops ranks via MinSet.PopMin's word-level
+//     trailing-zero scan from its cached minimum word index.
+//   - cache-conscious layout: the kernel runs in a topo-relabeled id
+//     space. The CSR arc arena and every per-node array (remaining,
+//     rank, initial indegree) are ordered by the frozen topological
+//     order, so the child walk of a just-completed node touches a
+//     contiguous region instead of striding the original id space, and
+//     remaining+rank share one 8-byte record — one cache line serves
+//     both the decrement and the eligibility insert.
+//
+// Pending completions live in a bucket calendar (a single-level timing
+// wheel): one flat event arena pre-sized to the job count (a job is
+// assigned at most once on this path — no failures — so the arena
+// cannot overflow) threaded into fastBuckets intrusive lists by
+// truncated time. A drain visits only the buckets the window covers;
+// the one bucket straddling the window boundary is partially drained
+// by comparison and its survivors relinked. Bucket indexing uses
+// int(t*invW), and IEEE multiplication by a positive constant is
+// monotone, so t <= T implies bucket(t) <= bucket(T): the boundary
+// bucket is always the last one visited and no event <= T can hide in
+// a later bucket. Events past the wheel's horizon (a job time more
+// than ~8 sigma above the mean) chain into an overflow list guarded by
+// a running minimum; it is empty in any realistic replication.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+	"repro/internal/rng"
+)
+
+// fastBuckets is the wheel size (a power of two). The wheel spans
+// 2*(JobTimeMean+8*JobTimeStdDev), so at the paper's N(1, 0.1) job
+// times one bucket covers ~3.5ms of simulated time and a burst of 8192
+// assignments spreads across ~230 buckets.
+const fastBuckets = 1024
+
+// fastEvent is one pending completion in the calendar's arena: the
+// completion time, the topo-relabeled job id, and the arena index of
+// the next event in the same bucket (-1 ends the chain).
+type fastEvent struct {
+	at   float64
+	job  int32
+	next int32
+}
+
+// fastKernel is the pooled state of the order-free path, owned by a
+// runState and rebuilt only when the policy instance (and with it the
+// total order) changes. All buffers are pre-sized from the dag at
+// build time — the event arena to the exact job count — so steady
+// state performs zero heap allocations and zero buffer growth.
+//
+// rem and rank are deliberately separate arrays, not one fused record:
+// the completion walk decrements rem once per arc but reads rank only
+// once per node ever (when the last parent finishes), so splitting
+// halves the hot working set the child walk strides through.
+type fastKernel struct {
+	owner *Oblivious // cache key: rebuilt when the policy changes
+	g     *dag.Frozen
+
+	// Topo-relabeled topology: node i is the i-th node of g.Topo(), so
+	// sources are exactly the ids [0, nSources) and a completion's
+	// children cluster just after it in id space.
+	childStart []int32
+	children   []int32
+	initRem    []int32
+	rem        []int32 // remaining unexecuted parents
+	rank       []int32 // position under the policy's total order
+	jobOfRank  []int32 // rank -> topo-relabeled id
+	nSources   int
+
+	elig bitset.MinSet
+
+	// Bucket calendar.
+	events  []fastEvent
+	heads   []int32 // fastBuckets ring slots + 1 overflow slot
+	invW    float64 // buckets per unit simulated time
+	baseVi  int     // wheel base: all live ring events are in [baseVi, baseVi+fastBuckets)
+	minVi   int     // lowest bucket that may hold a live ring event
+	live    int     // events in the ring
+	overCnt int     // events in the overflow chain
+	overMin float64 // minimum time in the overflow chain
+	// occ summarizes which ring slots are non-empty, one bit per
+	// bucket, so a drain jumps empty ranges by trailing-zero scans
+	// instead of probing heads bucket by bucket — at short batch
+	// interarrivals most windows cover hundreds of buckets holding a
+	// handful of events.
+	occ [fastBuckets / 64]uint64
+	// maxIns is the latest completion time ever scheduled. On this path
+	// every scheduled event completes (there are no failures), and drain
+	// windows partition time in increasing order, so the ordered
+	// kernel's lastCompletion — the time of the final pop — is exactly
+	// the maximum insert time. Tracking it here removes the per-event
+	// max comparison from the drain loops.
+	maxIns float64
+}
+
+// fastPathOK reports whether the order-free path may run: the policy
+// must have set semantics and the run must not branch on pop order
+// (failures draw randomness per pop; rollover assigns — and therefore
+// draws job times — at completion times; an observer sees pop order
+// and original ids; per-job means are indexed in the original space).
+func fastPathOK(p Params, pol Policy, obs Observer) (*Oblivious, bool) {
+	o, ok := pol.(*Oblivious)
+	if !ok || obs != nil || p.FailureProb != 0 || p.RolloverWorkers || len(p.JobMeans) != 0 {
+		return nil, false
+	}
+	return o, true
+}
+
+// build derives the topo-relabeled topology and rank tables for (g, o),
+// reusing every buffer whose size still fits. Rebuilding for a policy
+// change on the same dag touches no allocator.
+func (k *fastKernel) build(g *dag.Frozen, o *Oblivious) {
+	n := g.NumNodes()
+	if len(o.order) != n {
+		panic(fmt.Sprintf("sim: order covers %d jobs, dag has %d", len(o.order), n))
+	}
+	k.owner, k.g = o, g
+	topo, pos := g.Topo(), g.TopoPositions()
+	cs, ch := g.ChildCSR()
+	m := int(cs[n])
+	if len(k.childStart) != n+1 {
+		k.childStart = make([]int32, n+1)
+	}
+	if len(k.children) != m {
+		k.children = make([]int32, m)
+	}
+	if len(k.initRem) != n {
+		k.initRem = make([]int32, n)
+	}
+	if len(k.rem) != n {
+		k.rem = make([]int32, n)
+	}
+	if len(k.rank) != n {
+		k.rank = make([]int32, n)
+	}
+	if len(k.jobOfRank) != n {
+		k.jobOfRank = make([]int32, n)
+	}
+	w := int32(0)
+	for i, v := range topo {
+		k.childStart[i] = w
+		for ci := cs[v]; ci < cs[v+1]; ci++ {
+			k.children[w] = pos[ch[ci]]
+			w++
+		}
+		k.initRem[i] = int32(g.InDegree(int(v)))
+	}
+	k.childStart[n] = w
+	for r, v := range o.order {
+		j := pos[v]
+		k.jobOfRank[r] = j
+		k.rank[j] = int32(r)
+	}
+	k.nSources = len(g.Sources())
+	if cap(k.events) < n {
+		k.events = make([]fastEvent, 0, n)
+	}
+	if len(k.heads) != fastBuckets+1 {
+		k.heads = make([]int32, fastBuckets+1)
+	}
+}
+
+// start resets the kernel for one replication: remaining-parents
+// counters from the precomputed indegrees, an empty calendar sized for
+// p's job-time distribution, and the eligible set seeded with the
+// sources' ranks.
+//
+//prio:noalloc
+func (k *fastKernel) start(p Params) {
+	copy(k.rem, k.initRem)
+	k.events = k.events[:0]
+	for i := range k.heads {
+		k.heads[i] = -1
+	}
+	for i := range k.occ {
+		k.occ[i] = 0
+	}
+	// The wheel spans twice the effective job-time range, so an insert
+	// at now+d lands at most fastBuckets/2+1 buckets past the base.
+	span := p.JobTimeMean + 8*p.JobTimeStdDev + 1e-3
+	k.invW = float64(fastBuckets/2) / span
+	k.baseVi = 0
+	k.minVi = math.MaxInt
+	k.live = 0
+	k.overCnt = 0
+	k.overMin = math.Inf(1)
+	k.maxIns = 0
+	k.elig.Reset(len(k.rem))
+	for i := 0; i < k.nSources; i++ {
+		k.elig.Add(int(k.rank[i]))
+	}
+}
+
+// insert schedules the completion of job (topo-relabeled) at time at.
+//
+//prio:noalloc
+func (k *fastKernel) insert(at float64, job int32) {
+	if at > k.maxIns {
+		k.maxIns = at
+	}
+	i := int32(len(k.events))
+	vi := int(at * k.invW)
+	slot := fastBuckets
+	if vi-k.baseVi < fastBuckets {
+		slot = vi & (fastBuckets - 1)
+		k.occ[slot>>6] |= 1 << (uint(slot) & 63)
+		if vi < k.minVi {
+			k.minVi = vi
+		}
+		k.live++
+	} else {
+		if at < k.overMin {
+			k.overMin = at
+		}
+		k.overCnt++
+	}
+	k.events = append(k.events, fastEvent{at: at, job: job, next: k.heads[slot]})
+	k.heads[slot] = i
+}
+
+// complete processes one completion: walk the children sequentially in
+// the relabeled CSR, decrement their remaining-parent counters, and
+// set the rank bit of every node whose last parent this was.
+//
+//prio:noalloc
+func (k *fastKernel) complete(job int32) {
+	for ci, end := k.childStart[job], k.childStart[job+1]; ci < end; ci++ {
+		c := k.children[ci]
+		k.rem[c]--
+		if k.rem[c] == 0 {
+			k.elig.Add(int(k.rank[c]))
+		}
+	}
+}
+
+// nextOcc returns the ring distance from slot s to the nearest
+// occupied slot at or after s, wrapping past the top of the ring. The
+// ring must be non-empty (live > 0), or the scan would not terminate.
+//
+//prio:noalloc
+func (k *fastKernel) nextOcc(s int) int {
+	w := s >> 6
+	if word := k.occ[w] >> (uint(s) & 63); word != 0 {
+		return bits.TrailingZeros64(word)
+	}
+	for d := 1; ; d++ {
+		if word := k.occ[(w+d)&(fastBuckets/64-1)]; word != 0 {
+			return d<<6 - s&63 + bits.TrailingZeros64(word)
+		}
+	}
+}
+
+// drain processes every pending completion with time <= T (all of them
+// when all is set), in bucket order, and returns how many completed.
+// Whole buckets strictly before the boundary complete without any
+// comparison; the boundary bucket is filtered by comparison and its
+// survivors relinked.
+//
+//prio:noalloc
+func (k *fastKernel) drain(T float64, all bool) int {
+	done := 0
+	if k.live > 0 {
+		Tvi := int(T * k.invW)
+		if all || k.minVi <= Tvi {
+			vi := k.minVi
+			for k.live > 0 {
+				// Jump to the next occupied bucket; the live invariant
+				// guarantees it is within one full ring turn of vi.
+				vi += k.nextOcc(vi & (fastBuckets - 1))
+				if !all && vi > Tvi {
+					break
+				}
+				slot := vi & (fastBuckets - 1)
+				if all || vi < Tvi {
+					// The whole bucket is inside the window.
+					for i := k.heads[slot]; i >= 0; i = k.events[i].next {
+						k.complete(k.events[i].job)
+						done++
+						k.live--
+					}
+					k.heads[slot] = -1
+					k.occ[slot>>6] &^= 1 << (uint(slot) & 63)
+				} else {
+					// Boundary bucket: filter by time, relink survivors.
+					nh := int32(-1)
+					for i := k.heads[slot]; i >= 0; {
+						ev := &k.events[i]
+						next := ev.next
+						if ev.at <= T {
+							k.complete(ev.job)
+							done++
+							k.live--
+						} else {
+							ev.next = nh
+							nh = i
+						}
+						i = next
+					}
+					k.heads[slot] = nh
+					if nh < 0 {
+						k.occ[slot>>6] &^= 1 << (uint(slot) & 63)
+					}
+					break
+				}
+				vi++
+			}
+			k.minVi = vi
+		}
+		if !all {
+			// The wheel base follows the drain threshold: every live ring
+			// event is now > T, i.e. in [Tvi, Tvi+fastBuckets).
+			k.baseVi = Tvi
+			if k.minVi < Tvi {
+				k.minVi = Tvi
+			}
+		}
+		if k.live == 0 {
+			// Empty ring: forget the stale walk start so a sparse later
+			// insert does not leave minVi pointing at drained buckets.
+			k.minVi = math.MaxInt
+		}
+	} else if !all {
+		k.baseVi = int(T * k.invW)
+	}
+	if k.overCnt > 0 && (all || k.overMin <= T) {
+		nh := int32(-1)
+		min := math.Inf(1)
+		for i := k.heads[fastBuckets]; i >= 0; {
+			ev := &k.events[i]
+			next := ev.next
+			if all || ev.at <= T {
+				k.complete(ev.job)
+				done++
+				k.overCnt--
+			} else {
+				if ev.at < min {
+					min = ev.at
+				}
+				ev.next = nh
+				nh = i
+			}
+			i = next
+		}
+		k.heads[fastBuckets] = nh
+		k.overMin = min
+	}
+	return done
+}
+
+// runFast is the order-free replication loop. It consumes randomness
+// in exactly the order the ordered kernel does — batch size, then one
+// job time per assignment in rank order, then the interarrival draw —
+// and reproduces its metrics bit for bit on the policies and
+// parameters fastPathOK admits.
+//
+//prio:noalloc
+func (st *runState) runFast(g *dag.Frozen, p Params, o *Oblivious, src *rng.Source) Metrics {
+	k := &st.fast
+	if k.owner != o || k.g != g {
+		k.build(g, o)
+	}
+	n := g.NumNodes()
+	k.start(p)
+
+	now := 0.0
+	nextBatch := 0.0
+	unassigned := n
+	executed := 0
+	batches, stalls, requests := 0, 0, 0
+
+	for executed < n {
+		executed += k.drain(nextBatch, unassigned == 0)
+		if executed == n {
+			break
+		}
+		if unassigned == 0 {
+			continue // drain the remaining completions
+		}
+
+		// Batch arrival.
+		now = nextBatch
+		size := batchSize(src, p.BatchSize)
+		batches++
+		requests += size
+		served := 0
+		for i := 0; i < size; i++ {
+			r, ok := k.elig.PopMin()
+			if !ok {
+				break
+			}
+			served++
+			unassigned--
+			d := src.Normal(p.JobTimeMean, p.JobTimeStdDev)
+			if d < 1e-3 {
+				d = 1e-3 // a job cannot run backwards in time
+			}
+			k.insert(now+d, k.jobOfRank[r])
+		}
+		if served == 0 {
+			stalls++
+		}
+		nextBatch = now + src.Exp(p.BatchInterarrival)
+	}
+
+	// Every scheduled event completed and drain windows advance in time,
+	// so the latest insert is the ordered kernel's final pop.
+	m := Metrics{
+		ExecutionTime: k.maxIns,
+		Batches:       batches,
+		Requests:      requests,
+	}
+	if batches > 0 {
+		m.StallProbability = float64(stalls) / float64(batches)
+	}
+	if requests > 0 {
+		m.Utilization = float64(n) / float64(requests)
+	}
+	return m
+}

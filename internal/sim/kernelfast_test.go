@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/workloads"
+)
+
+// TestFastPathMatchesOrdered pins the order-free kernel to the ordered
+// sort-merge kernel on paper-scale dags across the batch regimes the
+// grids sweep — tiny interarrivals (many near-empty drain windows),
+// balanced, and huge batches (one window drains thousands of events) —
+// for both oblivious policies. The fuzz target covers the same
+// equivalence on arbitrary 8-node dags; this test covers real widths,
+// where the calendar's bucket walk, boundary filtering, and occupancy
+// jumps actually engage.
+func TestFastPathMatchesOrdered(t *testing.T) {
+	for _, w := range []struct {
+		name string
+		g    *dag.Frozen
+	}{{"airsn", workloads.AIRSN(15)}, {"montage", workloads.Montage(20, 3)}} {
+		for _, name := range []string{"prio", "critpath"} {
+			factory, err := PolicyFactory(name, w.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast := NewRunner(w.g)
+			ordered := NewRunner(w.g)
+			ordered.st.noFast = true
+			fastPol, orderedPol := factory(), factory()
+			if _, ok := fastPol.(*Oblivious); !ok {
+				t.Fatalf("%s: expected an Oblivious policy", name)
+			}
+			for _, p := range []Params{
+				DefaultParams(0.05, 0.5),
+				DefaultParams(0.05, 16),
+				DefaultParams(1, 8),
+				DefaultParams(1, 1600),
+				DefaultParams(100, 4),
+			} {
+				for seed := uint64(1); seed <= 10; seed++ {
+					got := fast.Run(p, fastPol, seed)
+					want := ordered.Run(p, orderedPol, seed)
+					if got != want {
+						t.Fatalf("%s/%s bit=%g bs=%g seed %d:\n fast    %+v\n ordered %+v",
+							w.name, name, p.BatchInterarrival, p.BatchSize, seed, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathDispatch pins the fast path's admission rule: order-free
+// only for Oblivious policies with no failures, no rollover, no
+// per-job means, and no observer.
+func TestFastPathDispatch(t *testing.T) {
+	g := workloads.AIRSN(4)
+	prio := NewPRIO(g)
+	base := DefaultParams(1, 8)
+	if _, ok := fastPathOK(base, prio, nil); !ok {
+		t.Error("prio at the default point should take the fast path")
+	}
+	fail := base
+	fail.FailureProb = 0.1
+	if _, ok := fastPathOK(fail, prio, nil); ok {
+		t.Error("failures draw randomness per pop; must stay ordered")
+	}
+	roll := base
+	roll.RolloverWorkers = true
+	if _, ok := fastPathOK(roll, prio, nil); ok {
+		t.Error("rollover assigns at completion times; must stay ordered")
+	}
+	means := base
+	means.JobMeans = make([]float64, g.NumNodes())
+	for i := range means.JobMeans {
+		means.JobMeans[i] = 1
+	}
+	if _, ok := fastPathOK(means, prio, nil); ok {
+		t.Error("per-job means are indexed in the original id space; must stay ordered")
+	}
+	if _, ok := fastPathOK(base, NewFIFO(), nil); ok {
+		t.Error("FIFO is order-sensitive; must stay ordered")
+	}
+}
+
+// TestFastCalendar drives the bucket calendar white-box: inserts across
+// the ring, past the horizon (the overflow chain — unreachable through
+// the kernel's clamped Normal draws, so exercised directly here),
+// boundary buckets with survivors, and drain-all. The dag has no arcs,
+// so complete() is a no-op and the calendar mechanics are isolated.
+func TestFastCalendar(t *testing.T) {
+	b := dag.NewWithCapacity(4)
+	for _, name := range []string{"a", "b", "c", "d"} {
+		b.AddNode(name)
+	}
+	g := b.MustFreeze()
+	o := NewOblivious("ID", []int{0, 1, 2, 3})
+
+	var k fastKernel
+	k.build(g, o)
+	k.start(DefaultParams(1, 8)) // span ≈ 1.8, invW ≈ 284 buckets/unit
+
+	// Two events inside the first window, one past it, one beyond the
+	// ring horizon (at 2*span from the base).
+	k.insert(0.5, 0)
+	k.insert(1.0, 1)
+	k.insert(1.5, 2)
+	k.insert(9.0, 3)
+	if k.live != 3 || k.overCnt != 1 {
+		t.Fatalf("live=%d overCnt=%d, want 3 ring + 1 overflow", k.live, k.overCnt)
+	}
+	if k.overMin != 9.0 {
+		t.Fatalf("overMin=%g, want 9", k.overMin)
+	}
+	if got := k.drain(1.0, false); got != 2 {
+		t.Fatalf("drain(1.0)=%d, want 2 (0.5 and the boundary 1.0)", got)
+	}
+	if k.live != 1 {
+		t.Fatalf("live=%d after first window, want 1 survivor", k.live)
+	}
+	// The survivor at 1.5 drains once the window passes it; the
+	// overflow event stays beyond its horizon.
+	if got := k.drain(2.0, false); got != 1 {
+		t.Fatalf("drain(2.0)=%d, want the 1.5 survivor", got)
+	}
+	if k.overCnt != 1 {
+		t.Fatalf("overflow drained early: overCnt=%d", k.overCnt)
+	}
+	// drain-all collects the overflow chain (T is ignored).
+	if got := k.drain(0, true); got != 1 {
+		t.Fatalf("drain(all)=%d, want the overflow event", got)
+	}
+	if k.live != 0 || k.overCnt != 0 {
+		t.Fatalf("calendar not empty after drain-all: live=%d over=%d", k.live, k.overCnt)
+	}
+	if k.maxIns != 9.0 {
+		t.Fatalf("maxIns=%g, want 9", k.maxIns)
+	}
+
+	// A second start on the same kernel must fully reset the calendar.
+	k.start(DefaultParams(1, 8))
+	if k.live != 0 || k.overCnt != 0 || k.maxIns != 0 {
+		t.Fatalf("start did not reset: live=%d over=%d maxIns=%g", k.live, k.overCnt, k.maxIns)
+	}
+	k.insert(0.25, 2)
+	if got := k.drain(0.5, false); got != 1 {
+		t.Fatalf("drain after reset=%d, want 1", got)
+	}
+}

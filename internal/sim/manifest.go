@@ -1,0 +1,364 @@
+// Checkpoint manifests for sharded, resumable grid sweeps. A manifest
+// is a JSONL file: one header line naming the sweep it belongs to, then
+// one line per completed grid point carrying the point's raw sampling
+// distributions (PointSample) as hex floats — the exact bits, so a
+// Comparison rebuilt from a manifest row is bit-identical to the one
+// the interrupted run would have produced (comparisonFromSample).
+//
+// Integrity model: the header embeds a fingerprint of everything that
+// determines the numbers — dag topology, the full points list, P, Q,
+// Seed, Confidence, and both policy names — but *not* Workers or Shard,
+// which by the engine's determinism contract cannot affect any result.
+// A manifest written for a different sweep is rejected up front rather
+// than silently merged. Each row additionally carries its own
+// fingerprint (point index + parameters + seed base + every sample
+// value) so a row from a reordered or edited file cannot masquerade as
+// another point, and a damaged payload cannot resume silently.
+//
+// Crash model: rows are appended with a single write each, so an
+// interrupted sweep leaves at most one torn line, and only at the tail.
+// On resume a trailing line without its newline is discarded and the
+// file truncated back to the last complete row; a malformed or
+// hash-mismatched line anywhere else is corruption and refuses the
+// resume. Several shards may extend one manifest sequentially (shard
+// 1 writes, shard 2 resumes and appends) — rows are keyed by point
+// index, not write order.
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"strconv"
+
+	"repro/internal/dag"
+)
+
+// manifestVersion is bumped when the file format changes
+// incompatibly; a version mismatch rejects the resume.
+const manifestVersion = 1
+
+type manifestHeader struct {
+	Version int    `json:"version"`
+	Grid    string `json:"grid"`
+	P       int    `json:"p"`
+	Q       int    `json:"q"`
+	Seed    uint64 `json:"seed"`
+	Points  int    `json:"points"`
+}
+
+type manifestRow struct {
+	Index  int      `json:"index"`
+	Row    string   `json:"row"`
+	AExec  []string `json:"aExec"`
+	AStall []string `json:"aStall"`
+	AUtil  []string `json:"aUtil"`
+	BExec  []string `json:"bExec"`
+	BStall []string `json:"bStall"`
+	BUtil  []string `json:"bUtil"`
+}
+
+// GridManifest is an open checkpoint file. Obtain one with
+// OpenManifest, feed Have to CompareGridResume, pass Append as its save
+// callback, and Close when the sweep ends. Append is not safe for
+// concurrent use; the engine serializes save calls under its lock.
+type GridManifest struct {
+	path string
+	f    *os.File
+	hash uint64
+	opts ExperimentOptions
+	have map[int]PointSample
+	row  []byte // reused append buffer
+}
+
+// OpenManifest creates (resume=false) or reopens (resume=true) the
+// checkpoint manifest at path for the given sweep. With resume set, an
+// existing file is validated against the sweep's fingerprint, its
+// completed rows are loaded, and a torn trailing line (a write cut off
+// by the interruption) is truncated away; a missing or empty file
+// simply starts fresh. Without resume any existing file is replaced.
+func OpenManifest(path string, g *dag.Frozen, points []Params, aName, bName string, opts ExperimentOptions, resume bool) (*GridManifest, error) {
+	opts = opts.normalized()
+	m := &GridManifest{
+		path: path,
+		hash: gridFingerprint(g, points, aName, bName, opts),
+		opts: opts,
+		have: make(map[int]PointSample),
+	}
+	flags := os.O_RDWR | os.O_CREATE
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	m.f = f
+	if err := m.init(points); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			err = fmt.Errorf("%w (and closing the file failed: %v)", err, cerr)
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+// init validates and loads the just-opened file, writing a fresh
+// header when it is empty and truncating a torn tail otherwise.
+func (m *GridManifest) init(points []Params) error {
+	data, err := os.ReadFile(m.path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return m.writeHeader(len(points))
+	}
+	valid, err := m.load(data, points)
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", m.path, err)
+	}
+	if err := m.f.Truncate(int64(valid)); err != nil {
+		return err
+	}
+	if _, err := m.f.Seek(int64(valid), 0); err != nil {
+		return err
+	}
+	if valid == 0 {
+		return m.writeHeader(len(points))
+	}
+	return nil
+}
+
+// load parses and validates the manifest bytes, filling m.have, and
+// returns the number of leading bytes that form complete valid lines.
+// A torn trailing line is tolerated (its offset becomes the valid
+// length); anything else malformed is an error.
+func (m *GridManifest) load(data []byte, points []Params) (int, error) {
+	valid := 0
+	line := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// Torn trailing write: drop it. (Only legitimate at the
+			// tail — any full line below already consumed its newline.)
+			break
+		}
+		raw := data[:nl]
+		data = data[nl+1:]
+		line++
+		if line == 1 {
+			var h manifestHeader
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return 0, fmt.Errorf("line 1: malformed header: %w", err)
+			}
+			if h.Version != manifestVersion {
+				return 0, fmt.Errorf("manifest version %d, this build writes %d", h.Version, manifestVersion)
+			}
+			if h.Grid != fmt.Sprintf("%016x", m.hash) || h.P != m.opts.P || h.Q != m.opts.Q || h.Seed != m.opts.Seed || h.Points != len(points) {
+				return 0, fmt.Errorf("checkpoint belongs to a different sweep (grid %s, P=%d Q=%d seed=%d points=%d; this sweep is grid %016x, P=%d Q=%d seed=%d points=%d)",
+					h.Grid, h.P, h.Q, h.Seed, h.Points, m.hash, m.opts.P, m.opts.Q, m.opts.Seed, len(points))
+			}
+		} else {
+			var r manifestRow
+			if err := json.Unmarshal(raw, &r); err != nil {
+				return 0, fmt.Errorf("line %d: malformed row: %w", line, err)
+			}
+			if r.Index < 0 || r.Index >= len(points) {
+				return 0, fmt.Errorf("line %d: point index %d out of range [0,%d)", line, r.Index, len(points))
+			}
+			if _, dup := m.have[r.Index]; dup {
+				return 0, fmt.Errorf("line %d: duplicate row for point %d", line, r.Index)
+			}
+			s, err := decodeSample(&r, m.opts.P)
+			if err != nil {
+				return 0, fmt.Errorf("line %d: %w", line, err)
+			}
+			if want := fmt.Sprintf("%016x", rowFingerprint(r.Index, points[r.Index], m.opts, s)); r.Row != want {
+				return 0, fmt.Errorf("line %d: row fingerprint %s does not match point %d (want %s)", line, r.Row, r.Index, want)
+			}
+			m.have[r.Index] = s
+		}
+		valid += nl + 1
+	}
+	return valid, nil
+}
+
+// Have returns the completed points recovered from the file, keyed by
+// grid index — the have argument of CompareGridResume.
+func (m *GridManifest) Have() map[int]PointSample { return m.have }
+
+// Append persists one newly completed point. It is the save callback
+// of CompareGridResume: each row is one write, flushed to the OS before
+// returning, so an interruption costs at most the row being written.
+func (m *GridManifest) Append(i int, p Params, s PointSample) error {
+	b := m.row[:0]
+	b = append(b, `{"index":`...)
+	b = strconv.AppendInt(b, int64(i), 10)
+	b = append(b, `,"row":"`...)
+	b = append(b, fmt.Sprintf("%016x", rowFingerprint(i, p, m.opts, s))...)
+	b = append(b, '"')
+	for _, part := range []struct {
+		key  string
+		vals []float64
+	}{
+		{"aExec", s.ExecTime[0]}, {"aStall", s.Stalling[0]}, {"aUtil", s.Utilization[0]},
+		{"bExec", s.ExecTime[1]}, {"bStall", s.Stalling[1]}, {"bUtil", s.Utilization[1]},
+	} {
+		b = append(b, `,"`...)
+		b = append(b, part.key...)
+		b = append(b, `":[`...)
+		for j, v := range part.vals {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, '"')
+			b = strconv.AppendFloat(b, v, 'x', -1, 64)
+			b = append(b, '"')
+		}
+		b = append(b, ']')
+	}
+	b = append(b, '}', '\n')
+	m.row = b
+	_, err := m.f.Write(b)
+	return err
+}
+
+// Close closes the underlying file.
+func (m *GridManifest) Close() error { return m.f.Close() }
+
+func (m *GridManifest) writeHeader(points int) error {
+	h := manifestHeader{
+		Version: manifestVersion,
+		Grid:    fmt.Sprintf("%016x", m.hash),
+		P:       m.opts.P,
+		Q:       m.opts.Q,
+		Seed:    m.opts.Seed,
+		Points:  points,
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	_, err = m.f.Write(append(b, '\n'))
+	return err
+}
+
+// decodeSample parses a row's six hex-float arrays, insisting each
+// holds exactly P samples per side.
+func decodeSample(r *manifestRow, p int) (PointSample, error) {
+	var s PointSample
+	for _, part := range []struct {
+		key string
+		raw []string
+		dst *[]float64
+	}{
+		{"aExec", r.AExec, &s.ExecTime[0]}, {"aStall", r.AStall, &s.Stalling[0]}, {"aUtil", r.AUtil, &s.Utilization[0]},
+		{"bExec", r.BExec, &s.ExecTime[1]}, {"bStall", r.BStall, &s.Stalling[1]}, {"bUtil", r.BUtil, &s.Utilization[1]},
+	} {
+		if len(part.raw) != p {
+			return s, fmt.Errorf("%s has %d samples, want P=%d", part.key, len(part.raw), p)
+		}
+		vals := make([]float64, len(part.raw))
+		for j, hx := range part.raw {
+			v, err := strconv.ParseFloat(hx, 64)
+			if err != nil {
+				return s, fmt.Errorf("%s[%d]: %w", part.key, j, err)
+			}
+			vals[j] = v
+		}
+		*part.dst = vals
+	}
+	return s, nil
+}
+
+// gridFingerprint hashes everything that determines a sweep's numbers:
+// the dag's topology, every parameter point, the sampling plan (P, Q,
+// Seed, Confidence), and the two policy names. Workers and Shard are
+// deliberately excluded — the engine guarantees they cannot change a
+// result, and a checkpoint must be shareable across shard launches.
+func gridFingerprint(g *dag.Frozen, points []Params, aName, bName string, opts ExperimentOptions) uint64 {
+	h := fnv.New64a()
+	var w [8]byte
+	u64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			w[i] = byte(v >> (8 * i))
+		}
+		h.Write(w[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u64(uint64(g.NumNodes()))
+	cs, ch := g.ChildCSR()
+	for _, v := range cs {
+		u64(uint64(uint32(v)))
+	}
+	for _, v := range ch {
+		u64(uint64(uint32(v)))
+	}
+	u64(uint64(len(points)))
+	for _, p := range points {
+		f64(p.BatchInterarrival)
+		f64(p.BatchSize)
+		f64(p.JobTimeMean)
+		f64(p.JobTimeStdDev)
+		f64(p.FailureProb)
+		if p.RolloverWorkers {
+			u64(1)
+		} else {
+			u64(0)
+		}
+		u64(uint64(len(p.JobMeans)))
+		for _, m := range p.JobMeans {
+			f64(m)
+		}
+	}
+	u64(uint64(opts.P))
+	u64(uint64(opts.Q))
+	u64(opts.Seed)
+	f64(opts.Confidence)
+	h.Write([]byte(aName))
+	h.Write([]byte{0})
+	h.Write([]byte(bName))
+	return h.Sum64()
+}
+
+// rowFingerprint ties a manifest row to one specific grid point — its
+// index, its parameters, the sweep's seed base and sampling plan — and
+// to its payload: every sample value is hashed, so a flipped bit in a
+// stored distribution is caught on load instead of resuming silently.
+func rowFingerprint(i int, p Params, opts ExperimentOptions, s PointSample) uint64 {
+	h := fnv.New64a()
+	var w [8]byte
+	u64 := func(v uint64) {
+		for j := 0; j < 8; j++ {
+			w[j] = byte(v >> (8 * j))
+		}
+		h.Write(w[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u64(uint64(i))
+	f64(p.BatchInterarrival)
+	f64(p.BatchSize)
+	f64(p.JobTimeMean)
+	f64(p.JobTimeStdDev)
+	f64(p.FailureProb)
+	if p.RolloverWorkers {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	u64(opts.Seed)
+	u64(uint64(opts.P))
+	u64(uint64(opts.Q))
+	for _, side := range [][]float64{
+		s.ExecTime[0], s.Stalling[0], s.Utilization[0],
+		s.ExecTime[1], s.Stalling[1], s.Utilization[1],
+	} {
+		for _, v := range side {
+			f64(v)
+		}
+	}
+	return h.Sum64()
+}
