@@ -87,19 +87,28 @@ bench-core:
 
 # Short form for CI: one pass per workload still yields exact allocs/op
 # (the schedule pipeline is deterministic), so the regression gate is as
-# strong as the full run and finishes in seconds.
+# strong as the full run and finishes in seconds. The ns/op trend gate
+# against the checked-in BENCH_core.json mirrors bench-sim-smoke; the
+# looser tolerance absorbs single-iteration timing jitter while still
+# catching an accidentally quadratic parse -> schedule path (refresh
+# the baseline with `make bench-core` when a slowdown is intentional).
 bench-core-smoke:
-	$(GO) test . -run xxx -bench 'BenchmarkParseSchedule' -benchtime 1x -benchmem | $(GO) run ./cmd/benchjson -assert-allocs-baseline results/core-bench-baseline.json
+	$(GO) test . -run xxx -bench 'BenchmarkParseSchedule' -benchtime 1x -benchmem | $(GO) run ./cmd/benchjson -assert-allocs-baseline results/core-bench-baseline.json -assert-ns-trend BENCH_core.json -ns-tolerance 1.6
 
 # Serving-layer load benchmark: cmd/prioload drives 32 concurrent
 # clients posting the AIRSN/Inspiral/Montage dags over real HTTP at an
 # in-process priod server and reports mean/p50/p99 latency, throughput,
-# and server RSS per dag. Raw text lands in results/serve-bench.txt,
-# machine-readable BENCH_serve.json next to the other BENCH_*.json
-# artifacts. Methodology in EXPERIMENTS.md "The serving layer".
+# and server RSS per dag. The sequential ServePrioritize micro-bench
+# rows are merged into the same archive so BENCH_serve.json carries a
+# per-request ns/op baseline the smoke's trend gate can compare against
+# (the concurrent ServeLoad rows are too machine-dependent to gate on).
+# Raw text lands in results/serve-bench.txt, machine-readable
+# BENCH_serve.json next to the other BENCH_*.json artifacts.
+# Methodology in EXPERIMENTS.md "The serving layer".
 bench-serve:
 	mkdir -p results
 	$(GO) run ./cmd/prioload -dags airsn,inspiral,montage -clients 32 -requests 32 -warmup 32 > results/serve-bench.txt
+	$(GO) test ./internal/serve -run xxx -bench 'BenchmarkServePrioritize' -benchtime 100x -benchmem >> results/serve-bench.txt
 	cat results/serve-bench.txt
 	$(GO) run ./cmd/benchjson -o BENCH_serve.json results/serve-bench.txt
 
@@ -108,9 +117,12 @@ bench-serve:
 # a per-request allocs/op assertion against the checked-in baseline;
 # the generous tolerance absorbs pool-refill and map-growth jitter
 # while still catching an accidentally quadratic or per-request-copying
-# serving path.
+# serving path. The ns/op trend gate compares the same ServePrioritize
+# rows against the ones bench-serve merged into BENCH_serve.json, so a
+# latency regression on the response path fails here too (refresh the
+# baseline with `make bench-serve` when a slowdown is intentional).
 bench-serve-smoke:
-	$(GO) test ./internal/serve -run xxx -bench 'BenchmarkServePrioritize' -benchtime 30x -benchmem | $(GO) run ./cmd/benchjson -assert-allocs-baseline results/serve-bench-baseline.json -allocs-tolerance 1.5
+	$(GO) test ./internal/serve -run xxx -bench 'BenchmarkServePrioritize' -benchtime 30x -benchmem | $(GO) run ./cmd/benchjson -assert-allocs-baseline results/serve-bench-baseline.json -allocs-tolerance 1.5 -assert-ns-trend BENCH_serve.json -ns-tolerance 1.6
 
 fuzz:
 	$(GO) test ./internal/dagman -fuzz 'FuzzParse$$' -fuzztime 30s

@@ -14,8 +14,11 @@
 // an Impure fact for every effectful function it sees, so a violation
 // deep in a dependency surfaces at the annotated entry point with the
 // whole call chain. Program analyzers (noalloc, nestedlock, goroleak,
-// ctxflow, chanbound, respdet) run once over all loaded packages
-// together with the whole-program call graph.
+// ctxflow, chanbound, respdet, bce, inline, devirt, escapecheck) run
+// once over all loaded packages together with the whole-program call
+// graph. Analyzers that consume compiler facts (bce, inline, devirt,
+// escapecheck) share a single instrumented `go build` of the loaded
+// tree — the compiler runs at most once per priolint invocation.
 // Interface calls resolve only to implementations loaded from source,
 // so run the tool over ./... (the default) for the contracts to be
 // proved rather than spot-checked.
@@ -38,17 +41,23 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/bce"
 	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/chanbound"
+	"repro/internal/analysis/compilerfact"
 	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/devirt"
 	"repro/internal/analysis/errpropagation"
+	"repro/internal/analysis/escapecheck"
 	"repro/internal/analysis/facts"
 	"repro/internal/analysis/goroleak"
+	"repro/internal/analysis/inline"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/lockedfield"
 	"repro/internal/analysis/mapiterorder"
 	"repro/internal/analysis/nestedlock"
 	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/pragmacheck"
 	"repro/internal/analysis/purity"
 	"repro/internal/analysis/respdet"
 	"repro/internal/analysis/rngsource"
@@ -56,14 +65,19 @@ import (
 
 // suite is every analyzer priolint knows, in reporting order.
 var suite = []*analysis.Analyzer{
+	bce.Analyzer,
 	chanbound.Analyzer,
 	ctxflow.Analyzer,
+	devirt.Analyzer,
 	errpropagation.Analyzer,
+	escapecheck.Analyzer,
 	goroleak.Analyzer,
+	inline.Analyzer,
 	lockedfield.Analyzer,
 	mapiterorder.Analyzer,
 	nestedlock.Analyzer,
 	noalloc.Analyzer,
+	pragmacheck.Analyzer,
 	purity.Analyzer,
 	respdet.Analyzer,
 	rngsource.Analyzer,
@@ -136,6 +150,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(progAnalyzers) > 0 || *debugCG {
 		graph = callgraph.Build(pkgs)
 	}
+
+	// Compiler facts are computed at most once per invocation and shared
+	// by every analyzer that asks for them: one `go build -gcflags=-m=2
+	// -d=ssa/check_bce` over the loaded tree, not one per analyzer.
+	var compiler *compilerfact.Facts
+	needCompiler := false
+	for _, a := range progAnalyzers {
+		if a.NeedsCompilerFacts {
+			needCompiler = true
+		}
+	}
+	if needCompiler && len(pkgs) > 0 {
+		nonMains, mains := compileDirs(pkgs)
+		cf, err := compilerfact.Run("", nonMains, mains)
+		if err != nil {
+			fmt.Fprintln(stderr, "priolint:", err)
+			return 2
+		}
+		compiler = cf
+	}
 	if *debugCG && len(pkgs) > 0 {
 		for _, line := range graph.DebugDump(pkgs[0].Fset) {
 			fmt.Fprintln(stdout, line)
@@ -143,6 +177,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	factSet := new(facts.Set)
+	if compiler != nil {
+		compiler.AttachFuncFacts(pkgs, factSet)
+	}
 	seen := make(map[string]bool)
 	var findings []finding
 
@@ -173,6 +210,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Pkgs:     pkgs,
 			Graph:    graph,
 			Facts:    factSet,
+			Compiler: compiler,
 			Report:   reporter(pkgs[0].Fset.Position, a.Name, seen, &findings),
 		}
 		if err := a.RunProgram(pp); err != nil {
@@ -218,6 +256,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// compileDirs maps the loaded packages to the directory lists the
+// compiler-fact build takes, split into non-mains and mains (a main
+// build needs -o pointed at scratch space). Directories are passed
+// instead of import paths because the loader's test variants
+// ("p [p.test]", "p_test") share the base package's directory — the
+// dedup collapses them to one compile of the non-test sources. A dir
+// counts as a main if any package in it is one.
+func compileDirs(pkgs []*load.Package) (nonMains, mains []string) {
+	isMain := make(map[string]bool)
+	for _, pkg := range pkgs {
+		if pkg.Dir != "" && pkg.Types.Name() == "main" {
+			isMain[pkg.Dir] = true
+		}
+	}
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		if pkg.Dir == "" || seen[pkg.Dir] {
+			continue
+		}
+		seen[pkg.Dir] = true
+		if isMain[pkg.Dir] {
+			mains = append(mains, pkg.Dir)
+		} else {
+			nonMains = append(nonMains, pkg.Dir)
+		}
+	}
+	return nonMains, mains
 }
 
 // reporter builds a Report callback that records deduplicated findings

@@ -137,6 +137,8 @@ func TestDriverInjectMarker(t *testing.T) {
 		"testdata/src/goroleakclean/goroleakclean.go":   "// INJECT: leaked goroutine goes here",
 		"testdata/src/chanboundclean/chanboundclean.go": "// INJECT: unbounded send goes here",
 		"testdata/src/respdetclean/respdetclean.go":     "// INJECT: clock read goes here",
+		"testdata/src/bceclean/bceclean.go":             "// INJECT: unprovable index goes here",
+		"testdata/src/devirtclean/devirtclean.go":       "// INJECT: interface call through a variable goes here",
 	} {
 		src, err := os.ReadFile(file)
 		if err != nil {

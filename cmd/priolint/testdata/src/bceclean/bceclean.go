@@ -1,0 +1,23 @@
+// Package bceclean is the anti-vacuousness fixture for the bce
+// analyzer: Fold pins the slice length and masks every index, so the
+// compiler eliminates every bounds check and priolint passes on this
+// package as checked in. CI's "priolint catches injected bounds check"
+// step replaces the INJECT marker below with an index no prover can
+// discharge and asserts priolint fails — proving the analyzer still
+// reads real compiler output, not just the absence of findings.
+// TestDriverInjectMarker pins the marker so the sed in
+// .github/workflows/ci.yml cannot rot silently.
+package bceclean
+
+//prio:nobce
+func Fold(xs []uint64) uint64 {
+	if len(xs) != 64 {
+		return 0
+	}
+	var acc uint64
+	for i := 0; i < 64; i++ {
+		acc ^= xs[i&63]
+		// INJECT: unprovable index goes here
+	}
+	return acc
+}

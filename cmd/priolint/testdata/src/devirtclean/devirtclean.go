@@ -1,0 +1,43 @@
+// Package devirtclean is the anti-vacuousness fixture for the devirt
+// analyzer: Score dispatches through a locally pinned interface value
+// the compiler devirtualizes, so priolint passes on this package as
+// checked in. CI's "priolint catches injected interface call" step
+// replaces the INJECT marker below with a call through the mutable
+// package-level sink — a call no compiler pass can devirtualize — and
+// asserts priolint fails. TestDriverInjectMarker pins the marker so
+// the sed in .github/workflows/ci.yml cannot rot silently.
+package devirtclean
+
+// policy scores one event; two implementations keep the interface
+// honest (a single-implementation interface devirtualizes trivially).
+type policy interface{ weight(x int) int }
+
+type flat struct{ k int }
+
+func (f *flat) weight(x int) int { return x * f.k }
+
+type steep struct{}
+
+func (steep) weight(x int) int { return x * x }
+
+// base is package-level so &base allocates nothing inside Score.
+var base = flat{k: 2}
+
+// sink is reassigned by Churn, so no call through it can be
+// devirtualized — exactly what the injected probe exploits.
+var sink policy = &base
+
+// Churn swaps the live implementation; it exists to keep sink's
+// dynamic type unprovable at any call site.
+func Churn() { sink = steep{} }
+
+//prio:noalloc
+func Score(xs []int) int {
+	var p policy = &base
+	t := 0
+	for _, x := range xs {
+		t += p.weight(x)
+		// INJECT: interface call through a variable goes here
+	}
+	return t
+}

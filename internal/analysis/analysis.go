@@ -7,6 +7,7 @@ import (
 	"go/types"
 
 	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/compilerfact"
 	"repro/internal/analysis/facts"
 	"repro/internal/analysis/load"
 )
@@ -27,6 +28,12 @@ type Analyzer struct {
 	Doc        string
 	Run        func(*Pass) (interface{}, error)
 	RunProgram func(*ProgramPass) error
+	// NeedsCompilerFacts asks the driver to run the toolchain with
+	// diagnostic flags (see subpackage compilerfact) before this
+	// analyzer and attach the parsed index to ProgramPass.Compiler.
+	// The driver runs the compiler at most once per invocation no
+	// matter how many analyzers declare the need.
+	NeedsCompilerFacts bool
 }
 
 // A Pass hands one type-checked package to an analyzer.
@@ -54,6 +61,11 @@ type ProgramPass struct {
 	Graph  *callgraph.Graph
 	Facts  *facts.Set
 	Report func(Diagnostic)
+	// Compiler is the toolchain's diagnostic index for the loaded
+	// packages, populated by the driver when the analyzer sets
+	// NeedsCompilerFacts (nil otherwise — analyzers must treat a nil
+	// index as an error, not as a clean program).
+	Compiler *compilerfact.Facts
 }
 
 // Reportf reports a formatted diagnostic at pos.

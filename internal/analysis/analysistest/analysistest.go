@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/compilerfact"
 	"repro/internal/analysis/facts"
 	"repro/internal/analysis/load"
 )
@@ -66,6 +67,12 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 
 func runOne(t *testing.T, a *analysis.Analyzer, dir string) error {
 	t.Helper()
+	// Parse under the absolute path: compilerfact normalizes diagnostic
+	// positions to absolute paths, and the two must compare equal.
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return err
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -133,6 +140,22 @@ func runOne(t *testing.T, a *analysis.Analyzer, dir string) error {
 			Graph:    callgraph.Build([]*load.Package{lp}),
 			Facts:    new(facts.Set),
 			Report:   report,
+		}
+		if a.NeedsCompilerFacts {
+			// Compile the fixture package with diagnostic flags, exactly
+			// as the driver does for real packages.
+			var nonMains, mains []string
+			if pkg.Name() == "main" {
+				mains = []string{dir}
+			} else {
+				nonMains = []string{dir}
+			}
+			cf, err := compilerfact.Run("", nonMains, mains)
+			if err != nil {
+				return fmt.Errorf("analyzer %s: %w", a.Name, err)
+			}
+			pp.Compiler = cf
+			cf.AttachFuncFacts(pp.Pkgs, pp.Facts)
 		}
 		if err := a.RunProgram(pp); err != nil {
 			return fmt.Errorf("analyzer %s: %w", a.Name, err)

@@ -1,0 +1,74 @@
+// Package bce proves the `//prio:nobce` contract with the compiler's
+// own verdict: a function carrying the annotation must compile with
+// zero bounds checks. The annotation marks the simulator's drain loops
+// and the bitset word scans, whose throughput claims assume the
+// compiler's bounds-check-elimination prover discharges every index —
+// a refactor that quietly reintroduces a Found IsInBounds site would
+// not change any abstract property, so only the machine's diagnostic
+// stream (-d=ssa/check_bce, see repro/internal/analysis/compilerfact)
+// can pin it.
+//
+// The contract covers the code the compiler emits for the function,
+// not just its source text: a bounds check inside an inlined callee is
+// re-attributed to the caller's call-site line and counts against the
+// caller's annotation. Functions inlined into a //prio:nobce function
+// must therefore be bounds-check-free themselves.
+//
+// A nobce function for which the compiler emitted no inline decision
+// was not part of the build (a _test.go file, or a file excluded by
+// build constraints) — that is reported as a violation, never treated
+// as clean: the annotation demands a proof, and no compilation means
+// no proof.
+package bce
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/compilerfact"
+	"repro/internal/analysis/pragma"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "bce",
+	Doc: "check that //prio:nobce functions compile with zero bounds checks " +
+		"(inlined callee sites included)",
+	RunProgram:         run,
+	NeedsCompilerFacts: true,
+}
+
+// Annotation is the marker comment, exported for the driver's docs.
+const Annotation = "prio:nobce"
+
+func run(pass *analysis.ProgramPass) error {
+	cf := pass.Compiler
+	if cf == nil {
+		return fmt.Errorf("bce: no compiler facts attached (driver must run the toolchain first)")
+	}
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !pragma.Has(fd.Doc, Annotation) {
+					continue
+				}
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				if _, compiled := cf.Decisions[compilerfact.FileLine{File: start.Filename, Line: start.Line}]; !compiled {
+					pass.Reportf(fd.Name.Pos(),
+						"%s is annotated //prio:nobce but the compiler emitted no record for it — the file was not part of the compiler-fact build, so the contract is unproved",
+						fd.Name.Name)
+					continue
+				}
+				for _, b := range cf.BoundsIn(start.Filename, start.Line, start.Column, end.Line, end.Column) {
+					pass.Reportf(fd.Name.Pos(),
+						"%s is annotated //prio:nobce but the compiler could not eliminate a bounds check at %s:%d",
+						fd.Name.Name, filepath.Base(b.File), b.Line)
+				}
+			}
+		}
+	}
+	return nil
+}

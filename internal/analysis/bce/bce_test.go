@@ -1,0 +1,12 @@
+package bce_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/bce"
+)
+
+func TestBCE(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), bce.Analyzer, "a", "clean")
+}

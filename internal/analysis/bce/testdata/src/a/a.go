@@ -1,0 +1,35 @@
+// Package a exercises the bce analyzer with annotated functions whose
+// bounds checks the compiler's prover cannot eliminate.
+package a
+
+// index carries an unprovable bounds check: nothing relates i to
+// len(xs).
+//
+//prio:nobce
+func index(xs []int, i int) int { // want `index is annotated //prio:nobce but the compiler could not eliminate a bounds check at a\.go:\d+`
+	return xs[i]
+}
+
+// twice carries two independent unprovable checks, each reported.
+//
+//prio:nobce
+func twice(xs []int, i, j int) int { // want `could not eliminate a bounds check` `could not eliminate a bounds check`
+	return xs[i] + xs[j]
+}
+
+// guarded is clean: the uint compare dominates both accesses, so no
+// diagnostic — the analyzer flags sites, not annotations.
+//
+//prio:nobce
+func guarded(xs []int, i int) int {
+	if uint(i) >= uint(len(xs)) {
+		return 0
+	}
+	return xs[i]
+}
+
+var (
+	_ = index
+	_ = twice
+	_ = guarded
+)

@@ -1,0 +1,14 @@
+//go:build neverbuild
+
+// The build tag keeps this file out of the compiler-fact build while
+// the analysistest harness still parses it: an annotation the compiler
+// never judged must be reported as unproved, not silently passed.
+
+package a
+
+//prio:nobce
+func skipped(xs []int) int { // want `skipped is annotated //prio:nobce but the compiler emitted no record for it`
+	return xs[0]
+}
+
+var _ = skipped

@@ -1,0 +1,30 @@
+// Package clean holds //prio:nobce functions for which the compiler
+// proves every index: the analyzer must stay silent.
+package clean
+
+// sum: the loop condition i < len(xs) is the textbook provable form.
+//
+//prio:nobce
+func sum(xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	return t
+}
+
+// masked: after the length pin, the masked index is provably in
+// bounds — the ring-buffer shape the simulator's fast kernel uses.
+//
+//prio:nobce
+func masked(ring []uint64, i uint) uint64 {
+	if len(ring) != 64 {
+		panic("clean: ring must be 64 words")
+	}
+	return ring[i&63]
+}
+
+var (
+	_ = sum
+	_ = masked
+)

@@ -1,0 +1,68 @@
+// Package cf exercises every diagnostic class compilerfact parses: a
+// bounds check the prover cannot eliminate, an inlinable function and
+// one over budget, an inlined call, a devirtualizable interface call,
+// and a heap escape.
+package cf
+
+type hasher interface{ Sum() int }
+
+type small struct{ n int }
+
+func (s small) Sum() int { return s.n }
+
+// index carries an unprovable bounds check.
+func index(xs []int, i int) int { return xs[i] }
+
+// tiny is well under the inline budget.
+func tiny(a int) int { return a + 1 }
+
+// big is pushed over the inline budget by the switch ladder.
+func big(xs []int) int {
+	t := 0
+	for i, x := range xs {
+		switch {
+		case x > 100:
+			t += x * 7
+		case x > 50:
+			t += x * 5
+		case x > 25:
+			t += x * 3
+		case x > 12:
+			t += x * 2
+		case x > 6:
+			t += x + i
+		case x > 3:
+			t += x - i
+		default:
+			t -= x
+		}
+		t ^= t >> 3
+		t *= 17
+		t += i
+	}
+	return t
+}
+
+// caller gets tiny inlined into it (and a call to big that stays).
+func caller(xs []int) int { return tiny(len(xs)) + big(xs) }
+
+// devirt calls Sum through an interface with a locally known concrete
+// type, which the compiler devirtualizes.
+func devirt() int {
+	var h hasher = small{n: 3}
+	return h.Sum()
+}
+
+// escape returns a pointer to a composite literal, which must be heap
+// allocated.
+func escape() *small {
+	s := &small{n: 4}
+	return s
+}
+
+// use keeps the unexported helpers alive.
+func use(xs []int) int {
+	return index(xs, 0) + caller(xs) + devirt() + escape().n
+}
+
+var _ = use

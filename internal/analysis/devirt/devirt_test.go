@@ -1,0 +1,12 @@
+package devirt_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/devirt"
+)
+
+func TestDevirt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), devirt.Analyzer, "a", "clean")
+}

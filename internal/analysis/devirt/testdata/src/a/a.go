@@ -1,0 +1,48 @@
+// Package a exercises the devirt analyzer: an interface call inside a
+// //prio:noalloc function whose dynamic type the compiler cannot
+// prove, next to a cold one it must exempt.
+package a
+
+type shape interface{ area() int }
+
+type square struct{ n int }
+
+func (s square) area() int { return s.n * s.n }
+
+type circle struct{ r int }
+
+func (c circle) area() int { return 3 * c.r * c.r }
+
+// sink defeats devirtualization: with two implementations flowing into
+// a package variable, the call site's dynamic type is unknowable.
+var sink shape
+
+func pick(useCircle bool) {
+	if useCircle {
+		sink = circle{r: 2}
+	} else {
+		sink = square{n: 2}
+	}
+}
+
+//prio:noalloc
+func hot() int {
+	return sink.area() // want `interface call sink\.area inside //prio:noalloc function hot is not devirtualized by the compiler`
+}
+
+// guarded's interface call sits in a panic argument: cold for the
+// noalloc prover, so exempt here too.
+//
+//prio:noalloc
+func guarded(ok bool) int {
+	if !ok {
+		panic(sink.area())
+	}
+	return 0
+}
+
+var (
+	_ = pick
+	_ = hot
+	_ = guarded
+)

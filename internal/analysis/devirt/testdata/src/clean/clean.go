@@ -1,0 +1,43 @@
+// Package clean holds a //prio:noalloc function whose interface call
+// the compiler devirtualizes (the value's dynamic type is locally
+// evident), plus interface dispatch in unannotated code, which is out
+// of scope by design.
+package clean
+
+type adder interface{ add(int) int }
+
+type plus struct{ k int }
+
+func (p plus) add(x int) int { return x + p.k }
+
+type minus struct{ k int }
+
+func (m minus) add(x int) int { return x - m.k }
+
+//prio:noalloc
+func hot(x int) int {
+	var a adder = plus{k: 1}
+	return a.add(x)
+}
+
+// polymorphic dispatch stays legal outside annotated regions: the
+// simulator's policy interface is exactly this shape.
+var sink adder
+
+func cold(x int) int {
+	return sink.add(x)
+}
+
+func pick(neg bool) {
+	if neg {
+		sink = minus{k: 1}
+	} else {
+		sink = plus{k: 1}
+	}
+}
+
+var (
+	_ = hot
+	_ = cold
+	_ = pick
+)

@@ -183,6 +183,68 @@
 // gauges by design, and its exemption is the absence of the contract
 // (see docs/OPERATIONS.md).
 //
+// # The compiler-fact proofs
+//
+// The analyzers above prove properties of the source as the tree
+// reasons about it. The four analyzers below prove properties of the
+// machine code the compiler actually emits, by running the Go compiler
+// itself as a fact oracle (subpackage compilerfact): one instrumented
+// `go build -gcflags='-m=2 -d=ssa/check_bce'` over the loaded tree,
+// parsed into position-keyed facts — bounds checks the SSA pass could
+// not eliminate, inlining decisions with costs and reasons, interface
+// calls devirtualized to concrete targets, and variables escaping to
+// the heap. The driver runs the compiler at most once per invocation
+// and shares the facts across all four. Absence of a fact record for
+// an annotated function is itself a finding ("the contract is
+// unproved"), never silence — an annotation in a file the build did
+// not compile must not pass vacuously.
+//
+// Bounds-check elimination (analyzer bce). A function annotated
+// //prio:nobce — the replication kernel inner loops and the bitset
+// hot methods — must compile with zero bounds checks: the masked-index
+// and capacity-pinning idioms the kernel uses exist precisely so the
+// SSA prover can discharge every access, and this analyzer pins that
+// outcome to the compiler's own `Found IsInBounds` output rather than
+// to a code-review reading of the masks.
+//
+// Inlining (analyzer inline). A function annotated //prio:inline must
+// (a) be inlinable at all (cost within the compiler budget, no
+// inlining-hostile constructs), and (b) actually be inlined at every
+// call site lexically inside a //prio:nobce or //prio:noalloc
+// function — a call left outstanding on the hot path costs a frame
+// setup per event. Diagnostics carry the compiler's cost and reason
+// ("cost 92 exceeds budget 80") so the fix is mechanical.
+//
+// Devirtualization (analyzer devirt). An interface method call
+// lexically inside a //prio:noalloc function must be devirtualized by
+// the compiler to a direct call. The scope is lexical, not
+// reachability-based, by design: the noalloc analyzer already walks
+// the call graph, and a devirtualized call that the compiler then
+// inlines dissolves entirely — only calls written in the hot
+// function's own body can still carry dynamic dispatch. Cold paths
+// (panic arguments, error exits) are exempt under the same rules
+// noalloc uses.
+//
+// Escape cross-check (analyzer escapecheck). The noalloc analyzer is
+// an abstract interpreter with a documented rulebook of exemptions;
+// the compiler's escape analysis is the ground truth it approximates.
+// For every //prio:noalloc function, this analyzer takes each heap
+// allocation the compiler proves ("moved to heap: x", "escapes to
+// heap") and demands that the abstract prover accounted for that line
+// — as an allocation site class it audits, a call it traverses, or an
+// exemption it grants. A compiler-proved allocation on a line the
+// rulebook has no opinion about means the two proof systems disagree,
+// and the rulebook — not the kernel — is what gets fixed.
+//
+// Pragma hygiene (analyzer pragmacheck). Every contract above is
+// opt-in via a //prio: doc-comment pragma, which creates a failure
+// mode no analyzer of the contract itself can see: a typo'd pragma
+// (//prio:noaloc), trailing prose (//prio:noalloc on the hot path),
+// or a pragma on a type or var declaration reads like a contract and
+// enforces nothing. pragmacheck closes the loop by flagging any
+// //prio: comment that is not exactly a recognized pragma in the doc
+// position of a function declaration.
+//
 // # Running
 //
 //	go run ./cmd/priolint ./...        # what make check and CI run

@@ -1,0 +1,80 @@
+// Package escapecheck cross-checks the two allocation proof systems
+// the repository runs: the abstract noalloc prover (a source-level
+// model of allocation sites, exemptions, and cold paths) and the
+// compiler's escape analysis (-m=2, the ground truth about what the
+// emitted code heap-allocates). Each can be wrong alone — the abstract
+// prover by missing an allocation shape it does not model, the
+// compiler check by being read against the wrong exemption — so their
+// disagreement is itself a diagnostic.
+//
+// The direction checked is compiler→abstract: every heap allocation
+// the compiler proves inside a `//prio:noalloc` function must land on
+// a line the abstract prover accounts for (a site it would flag, an
+// exemption it deliberately grants, a cold path, or a call whose
+// callees its interprocedural traversal audits — inlined callees'
+// escape notes are re-attributed to the call-site line). A compiler
+// escape on an unaccounted line means the abstract model has a blind
+// spot at exactly that shape; the canonical example is a plain local
+// whose address escapes ("moved to heap: x"), which no noalloc site
+// class covers. The opposite direction needs no analyzer: an abstract
+// site the compiler proves non-escaping is the prover being
+// conservative, which is its contract.
+//
+// Matching is at line granularity — compiler columns drift by a token
+// from go/ast positions — per noalloc.AccountedLines.
+package escapecheck
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/compilerfact"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/pragma"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "escapecheck",
+	Doc: "cross-check the compiler's escape analysis against the abstract noalloc " +
+		"prover: a compiler-proved heap allocation in a //prio:noalloc function " +
+		"must be on a line the abstract prover accounts for",
+	RunProgram:         run,
+	NeedsCompilerFacts: true,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	cf := pass.Compiler
+	if cf == nil {
+		return fmt.Errorf("escapecheck: no compiler facts attached (driver must run the toolchain first)")
+	}
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !pragma.Has(fd.Doc, "prio:noalloc") {
+					continue
+				}
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				if _, compiled := cf.Decisions[compilerfact.FileLine{File: start.Filename, Line: start.Line}]; !compiled {
+					pass.Reportf(fd.Name.Pos(),
+						"%s is annotated //prio:noalloc but the compiler emitted no record for it — the file was not part of the compiler-fact build, so escape analysis cannot be cross-checked",
+						fd.Name.Name)
+					continue
+				}
+				accounted := noalloc.AccountedLines(pkg.Fset, pkg.Info, fd)
+				for _, esc := range cf.EscapesIn(start.Filename, start.Line, start.Column, end.Line, end.Column) {
+					if accounted[esc.Pos.Line] != "" {
+						continue
+					}
+					pass.Reportf(fd.Name.Pos(),
+						"the compiler proves a heap allocation in //prio:noalloc function %s (%s at %s:%d) on a line the abstract noalloc prover does not account for — the two proof systems disagree",
+						fd.Name.Name, esc.What, filepath.Base(esc.Pos.File), esc.Pos.Line)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package escapecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/escapecheck"
+)
+
+func TestEscapecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), escapecheck.Analyzer, "a", "clean")
+}

@@ -1,0 +1,15 @@
+// Package a exercises the escapecheck cross-check with the abstract
+// prover's canonical blind spot: a plain local whose address escapes.
+// The compiler moves it to the heap; no noalloc site class covers it.
+package a
+
+var sink *int
+
+//prio:noalloc
+func leak() int { // want `the compiler proves a heap allocation in //prio:noalloc function leak \(moved to heap: x at a\.go:\d+\) on a line the abstract noalloc prover does not account for`
+	x := 0
+	sink = &x
+	return x
+}
+
+var _ = leak

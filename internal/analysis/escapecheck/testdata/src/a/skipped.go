@@ -1,0 +1,12 @@
+//go:build neverbuild
+
+// The build tag keeps this file out of the compiler-fact build: a
+// //prio:noalloc function the compiler never saw cannot have its
+// escape analysis cross-checked, which is itself a finding.
+
+package a
+
+//prio:noalloc
+func skipped() {} // want `skipped is annotated //prio:noalloc but the compiler emitted no record for it`
+
+var _ = skipped

@@ -1,0 +1,12 @@
+package inline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/inline"
+)
+
+func TestInline(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), inline.Analyzer, "a", "clean")
+}

@@ -1,0 +1,60 @@
+// Package a exercises the inline analyzer: an annotated function over
+// the inliner's budget, reported at its declaration and again at the
+// hot call site that keeps paying the dispatch.
+package a
+
+// fat is pushed over the inline budget by the switch ladder; the
+// annotation is a promise the compiler refuses, reported with its
+// reason.
+//
+//prio:inline
+func fat(xs []int) int { // want `fat is annotated //prio:inline but the compiler cannot inline it: .*cost \d+ exceeds budget`
+	t := 0
+	for i, x := range xs {
+		switch {
+		case x > 100:
+			t += x * 7
+		case x > 50:
+			t += x * 5
+		case x > 25:
+			t += x * 3
+		case x > 12:
+			t += x * 2
+		case x > 6:
+			t += x + i
+		case x > 3:
+			t += x - i
+		default:
+			t -= x
+		}
+		t ^= t >> 3
+		t *= 17
+		t += i
+	}
+	return t
+}
+
+// ok is comfortably inlinable.
+//
+//prio:inline
+func ok(a int) int { return a + 1 }
+
+// hot calls both: the ok call inlines (silent); the fat call stays a
+// call and is flagged here as well as at fat's declaration.
+//
+//prio:nobce
+func hot(xs []int) int {
+	t := ok(len(xs))
+	return t + fat(xs) // want `fat is annotated //prio:inline but stays a call inside hot: .*cost \d+ exceeds budget`
+}
+
+// cold also calls fat, but carries no hot annotation: no call-site
+// check applies.
+func cold(xs []int) int {
+	return fat(xs)
+}
+
+var (
+	_ = hot
+	_ = cold
+)

@@ -1,0 +1,110 @@
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// AccountedLines exposes the abstract prover's accounting at line
+// granularity for one annotated function: every source line on which
+// this package's model recognizes a potential heap allocation — a hot
+// site it would flag, an exemption it deliberately allows (cap-guarded
+// make, self-append, cold path, non-escaping literal), or a call whose
+// callees the interprocedural traversal audits. The escapecheck
+// analyzer cross-checks the compiler's escape analysis against this
+// map: a compiler-proved heap allocation on an unaccounted line means
+// the two proof systems disagree, which is a diagnostic in itself.
+//
+// Granularity is lines, not columns, for two reasons: the compiler's
+// diagnostic columns drift by a token from go/ast positions (a make is
+// reported at its identifier, recorded here at its Lparen), and
+// inlining re-attributes a callee's escape sites to the caller's
+// call-site line — which the call's own line entry accounts for, since
+// the traversal audits the callee's body where it is declared.
+func AccountedLines(fset *token.FileSet, info *types.Info, fd *ast.FuncDecl) map[int]string {
+	accounted := make(map[int]string)
+	if fd.Body == nil {
+		return accounted
+	}
+	mark := func(n ast.Node, reason string) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		for line := start; line <= end; line++ {
+			if accounted[line] == "" {
+				accounted[line] = reason
+			}
+		}
+	}
+	returnsError := false
+	var sig *types.Signature
+	if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+		sig = fn.Type().(*types.Signature)
+		if n := sig.Results().Len(); n > 0 {
+			named, ok := sig.Results().At(n - 1).Type().(*types.Named)
+			returnsError = ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+		}
+	}
+	analysis.WithStack(fd.Body, func(nd ast.Node, stack []ast.Node) bool {
+		if isCold(nd, stack, returnsError) {
+			mark(nd, "a cold path (panic or error exit)")
+			return false
+		}
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			// The literal's body compiles as part of the enclosing
+			// function, so its escape notes fall inside the annotated
+			// span; the traversal audits it as its own call-graph node.
+			mark(nd, "a function literal (audited as its own node)")
+		case *ast.CallExpr:
+			// Covers the builtin allocators (make, new, append),
+			// allocating conversions, boxing of arguments, and static
+			// calls — whose inlined callee escape notes the compiler
+			// re-attributes to this line.
+			mark(nd, "a call (classified directly or audited through the call graph)")
+		case *ast.CompositeLit:
+			mark(nd, "a composite literal")
+		case *ast.GoStmt:
+			mark(nd, "a goroutine launch")
+		case *ast.BinaryExpr:
+			if nd.Op == token.ADD && isStringExpr(info, nd) && !isConst(info, nd) {
+				mark(nd, "a string concatenation")
+			}
+		case *ast.AssignStmt:
+			if len(nd.Lhs) == len(nd.Rhs) && nd.Tok != token.DEFINE {
+				for i, lhs := range nd.Lhs {
+					if boxes(info, nd.Rhs[i], info.TypeOf(lhs)) {
+						mark(nd.Rhs[i], "value-to-interface boxing (assignment)")
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, val := range nd.Values {
+				if i < len(nd.Names) {
+					if obj := info.Defs[nd.Names[i]]; obj != nil && boxes(info, val, obj.Type()) {
+						mark(val, "value-to-interface boxing (declaration)")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && len(nd.Results) == sig.Results().Len() {
+				for i, res := range nd.Results {
+					if boxes(info, res, sig.Results().At(i).Type()) {
+						mark(res, "value-to-interface boxing (return)")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return accounted
+}
+
+// Cold re-exports the cold-path judgment for the compiler-fact
+// analyzers: devirt skips interface calls on paths steady state cannot
+// take, using the exact rule this package's exemptions use.
+func Cold(nd ast.Node, stack []ast.Node, returnsError bool) bool {
+	return isCold(nd, stack, returnsError)
+}

@@ -1,0 +1,12 @@
+package pragmacheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pragmacheck"
+)
+
+func TestPragmacheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), pragmacheck.Analyzer, "a", "clean")
+}

@@ -29,19 +29,31 @@ func NewMinSet(n int) *MinSet {
 }
 
 // Reset empties the set and re-sizes it to [0, n), reusing the backing
-// array when it is large enough.
+// array when it is large enough. The word slice is hoisted to a local
+// so the capacity test dominates the reslice and the clear loop — both
+// compile without bounds checks, which also keeps callers that inline
+// Reset free of inherited check sites.
 //
 //prio:noalloc
+//prio:nobce
+//prio:inline
 func (s *MinSet) Reset(n int) {
 	w := (n + 63) / 64
-	if cap(s.words) < w {
-		s.words = make([]uint64, w)
+	if w < 0 {
+		// n below -63; the reslice would panic anyway, so the guard only
+		// makes the failure explicit (and hands the prover w >= 0).
+		panic("bitset: MinSet.Reset with negative size")
+	}
+	words := s.words
+	if cap(words) < w {
+		words = make([]uint64, w)
 	} else {
-		s.words = s.words[:w]
-		for i := range s.words {
-			s.words[i] = 0
+		words = words[:w]
+		for i := range words {
+			words[i] = 0
 		}
 	}
+	s.words = words
 	s.hint = w
 	s.count = 0
 }
@@ -50,34 +62,57 @@ func (s *MinSet) Reset(n int) {
 // membership but must not happen when the caller relies on Len (the
 // simulator's ranks are unique, so it never does).
 //
+// The explicit uint-compared range guard replaces the implicit bounds
+// checks on the two word accesses: a negative or too-large i panics
+// here just as it would on the indexing itself, and past the guard the
+// compiler proves w in-bounds for both the load and the store.
+//
 //prio:noalloc
+//prio:nobce
+//prio:inline
 func (s *MinSet) Add(i int) {
-	w := i >> 6
-	bit := uint64(1) << uint(i&63)
-	if s.words[w]&bit == 0 {
+	words := s.words
+	w := uint(i) >> 6
+	if w >= uint(len(words)) {
+		panic("bitset: MinSet.Add out of range")
+	}
+	bit := uint64(1) << (uint(i) & 63)
+	if words[w]&bit == 0 {
 		s.count++
 	}
-	s.words[w] |= bit
-	if w < s.hint {
-		s.hint = w
+	words[w] |= bit
+	if int(w) < s.hint {
+		s.hint = int(w)
 	}
 }
 
 // PopMin removes and returns the smallest element, or ok=false when the
 // set is empty.
 //
+// The word slice is hoisted to a local so the element store cannot be
+// seen as aliasing the slice header, and the start index is clamped to
+// zero: with 0 <= w < len(words) both provable, the scan compiles
+// without bounds checks.
+//
 //prio:noalloc
+//prio:nobce
+//prio:inline
 func (s *MinSet) PopMin() (int, bool) {
-	for w := s.hint; w < len(s.words); w++ {
-		if word := s.words[w]; word != 0 {
+	words := s.words
+	w := s.hint
+	if w < 0 {
+		w = 0
+	}
+	for ; w < len(words); w++ {
+		if word := words[w]; word != 0 {
 			s.hint = w
 			b := bits.TrailingZeros64(word)
-			s.words[w] = word &^ (1 << uint(b))
+			words[w] = word &^ (1 << uint(b))
 			s.count--
 			return w<<6 | b, true
 		}
 	}
-	s.hint = len(s.words)
+	s.hint = len(words)
 	return 0, false
 }
 

@@ -274,32 +274,50 @@ func (q *eventQueue) normalize() {
 }
 
 // minAt returns the earliest pending completion time. The queue must
-// be normalized and non-empty.
+// be normalized and non-empty; an empty queue panics, as the implicit
+// bounds check used to. Fields are hoisted to locals and the head index
+// compared as uint so the sorted-region reads carry no bounds checks.
 //
 //prio:noalloc
+//prio:nobce
 func (q *eventQueue) minAt() float64 {
-	if len(q.over) > 0 && (q.head >= len(q.buf) || q.over[0].at < q.buf[q.head].at) {
-		return q.over[0].at
+	buf, head, over := q.buf, q.head, q.over
+	if uint(head) < uint(len(buf)) {
+		if len(over) > 0 && over[0].at < buf[head].at {
+			return over[0].at
+		}
+		return buf[head].at
 	}
-	return q.buf[q.head].at
+	if len(over) > 0 {
+		return over[0].at
+	}
+	panic("sim: minAt on empty eventQueue")
 }
 
 // pop removes and returns the earliest event. The queue must be
-// normalized and non-empty.
+// normalized and non-empty; popping an empty queue panics in the
+// overflow heap, as the implicit bounds check here used to. Same
+// hoisted-local shape as minAt for the same bounds-check-free reason.
 //
 //prio:noalloc
+//prio:nobce
 func (q *eventQueue) pop() (float64, int32) {
-	if len(q.over) > 0 && (q.head >= len(q.buf) || q.over[0].at < q.buf[q.head].at) {
-		ev := q.over.pop()
+	buf, head, over := q.buf, q.head, q.over
+	if uint(head) < uint(len(buf)) {
+		if len(over) > 0 && over[0].at < buf[head].at {
+			ev := q.over.pop()
+			return ev.at, ev.job
+		}
+		ev := buf[head]
+		q.head = head + 1
+		if head+1 == len(buf) {
+			q.buf = buf[:0]
+			q.head = 0
+			q.sorted = 0
+		}
 		return ev.at, ev.job
 	}
-	ev := q.buf[q.head]
-	q.head++
-	if q.head == len(q.buf) {
-		q.buf = q.buf[:0]
-		q.head = 0
-		q.sorted = 0
-	}
+	ev := q.over.pop()
 	return ev.at, ev.job
 }
 

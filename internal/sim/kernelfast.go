@@ -102,15 +102,18 @@ type fastKernel struct {
 
 	elig bitset.MinSet
 
-	// Bucket calendar.
+	// Bucket calendar. heads is a fixed-size array — not a slice — so
+	// that masked bucket indexing (vi & (fastBuckets-1), plus the
+	// constant overflow slot) is provably in-bounds and the hot drain
+	// and insert loops compile without bounds checks.
 	events  []fastEvent
-	heads   []int32 // fastBuckets ring slots + 1 overflow slot
-	invW    float64 // buckets per unit simulated time
-	baseVi  int     // wheel base: all live ring events are in [baseVi, baseVi+fastBuckets)
-	minVi   int     // lowest bucket that may hold a live ring event
-	live    int     // events in the ring
-	overCnt int     // events in the overflow chain
-	overMin float64 // minimum time in the overflow chain
+	heads   [fastBuckets + 1]int32 // fastBuckets ring slots + 1 overflow slot
+	invW    float64                // buckets per unit simulated time
+	baseVi  int                    // wheel base: all live ring events are in [baseVi, baseVi+fastBuckets)
+	minVi   int                    // lowest bucket that may hold a live ring event
+	live    int                    // events in the ring
+	overCnt int                    // events in the overflow chain
+	overMin float64                // minimum time in the overflow chain
 	// occ summarizes which ring slots are non-empty, one bit per
 	// bucket, so a drain jumps empty ranges by trailing-zero scans
 	// instead of probing heads bucket by bucket — at short batch
@@ -188,9 +191,6 @@ func (k *fastKernel) build(g *dag.Frozen, o *Oblivious) {
 	if cap(k.events) < n {
 		k.events = make([]fastEvent, 0, n)
 	}
-	if len(k.heads) != fastBuckets+1 {
-		k.heads = make([]int32, fastBuckets+1)
-	}
 }
 
 // start resets the kernel for one replication: remaining-parents
@@ -199,6 +199,7 @@ func (k *fastKernel) build(g *dag.Frozen, o *Oblivious) {
 // sources' ranks.
 //
 //prio:noalloc
+//prio:nobce
 func (k *fastKernel) start(p Params) {
 	copy(k.rem, k.initRem)
 	k.events = k.events[:0]
@@ -218,25 +219,34 @@ func (k *fastKernel) start(p Params) {
 	k.overCnt = 0
 	k.overMin = math.Inf(1)
 	k.maxIns = 0
+	rank := k.rank
+	nSources := k.nSources
+	if nSources > len(rank) {
+		panic("sim: fastKernel.start: sources exceed rank table")
+	}
 	k.elig.Reset(len(k.rem))
-	for i := 0; i < k.nSources; i++ {
-		k.elig.Add(int(k.rank[i]))
+	for i := 0; i < nSources; i++ {
+		k.elig.Add(int(rank[i]))
 	}
 }
 
 // insert schedules the completion of job (topo-relabeled) at time at.
+// Both slot values are provably in-bounds for the heads array: the ring
+// branch masks with fastBuckets-1 and the overflow branch uses the
+// constant last slot.
 //
 //prio:noalloc
+//prio:nobce
 func (k *fastKernel) insert(at float64, job int32) {
 	if at > k.maxIns {
 		k.maxIns = at
 	}
 	i := int32(len(k.events))
 	vi := int(at * k.invW)
-	slot := fastBuckets
+	slot := uint(fastBuckets)
 	if vi-k.baseVi < fastBuckets {
-		slot = vi & (fastBuckets - 1)
-		k.occ[slot>>6] |= 1 << (uint(slot) & 63)
+		slot = uint(vi) & (fastBuckets - 1)
+		k.occ[(slot>>6)&(fastBuckets/64-1)] |= 1 << (slot & 63)
 		if vi < k.minVi {
 			k.minVi = vi
 		}
@@ -247,6 +257,12 @@ func (k *fastKernel) insert(at float64, job int32) {
 		}
 		k.overCnt++
 	}
+	// The clamp never fires (slot is fastBuckets or a masked ring
+	// index); it hands the prover the upper bound the branch merge
+	// loses, so both heads accesses are check-free.
+	if slot > fastBuckets {
+		slot = fastBuckets
+	}
 	k.events = append(k.events, fastEvent{at: at, job: job, next: k.heads[slot]})
 	k.heads[slot] = i
 }
@@ -255,13 +271,42 @@ func (k *fastKernel) insert(at float64, job int32) {
 // the relabeled CSR, decrement their remaining-parent counters, and
 // set the rank bit of every node whose last parent this was.
 //
+// The cold guards up front replace the per-iteration implicit bounds
+// checks: a corrupt CSR (never built by build) panics once at entry,
+// and past the guards every index in the walk is provably in-bounds —
+// children by ci < end <= len(children), rem by the per-child uint
+// guard, and rank by the reslice pinning len(rank) to len(rem).
+//
 //prio:noalloc
+//prio:nobce
 func (k *fastKernel) complete(job int32) {
-	for ci, end := k.childStart[job], k.childStart[job+1]; ci < end; ci++ {
-		c := k.children[ci]
-		k.rem[c]--
-		if k.rem[c] == 0 {
-			k.elig.Add(int(k.rank[c]))
+	cs, children := k.childStart, k.children
+	j := int(job)
+	if uint(j) >= uint(len(cs)) {
+		panic("sim: fastKernel.complete: job out of range")
+	}
+	ci := int(cs[j])
+	jn := j + 1
+	if uint(jn) >= uint(len(cs)) {
+		panic("sim: fastKernel.complete: job out of range")
+	}
+	end := int(cs[jn])
+	if ci < 0 || end > len(children) {
+		panic("sim: fastKernel.complete: corrupt child CSR")
+	}
+	rem, rank := k.rem, k.rank
+	if len(rank) < len(rem) {
+		panic("sim: fastKernel.complete: rank table too short")
+	}
+	rank = rank[:len(rem)]
+	for ; ci < end; ci++ {
+		c := int(children[ci])
+		if uint(c) >= uint(len(rem)) {
+			panic("sim: fastKernel.complete: child id out of range")
+		}
+		rem[c]--
+		if rem[c] == 0 {
+			k.elig.Add(int(rank[c]))
 		}
 	}
 }
@@ -269,10 +314,15 @@ func (k *fastKernel) complete(job int32) {
 // nextOcc returns the ring distance from slot s to the nearest
 // occupied slot at or after s, wrapping past the top of the ring. The
 // ring must be non-empty (live > 0), or the scan would not terminate.
+// s must be an in-range slot (callers mask with fastBuckets-1); the
+// word index mask makes that provable, so the occupancy scan carries
+// no bounds checks.
 //
 //prio:noalloc
+//prio:nobce
+//prio:inline
 func (k *fastKernel) nextOcc(s int) int {
-	w := s >> 6
+	w := (s >> 6) & (fastBuckets/64 - 1)
 	if word := k.occ[w] >> (uint(s) & 63); word != 0 {
 		return bits.TrailingZeros64(word)
 	}
@@ -289,9 +339,18 @@ func (k *fastKernel) nextOcc(s int) int {
 // comparison; the boundary bucket is filtered by comparison and its
 // survivors relinked.
 //
+// The bucket chains walk with uint(i) < uint(len(events)) as the loop
+// condition: it folds the chain-end test (next == -1 wraps to a huge
+// uint) and the arena bound into one compare, so the event loads carry
+// no bounds checks. An in-range but corrupt chain index would end the
+// walk early instead of panicking; arena indices come only from append
+// positions in insert, so no such index exists.
+//
 //prio:noalloc
+//prio:nobce
 func (k *fastKernel) drain(T float64, all bool) int {
 	done := 0
+	events := k.events
 	if k.live > 0 {
 		Tvi := int(T * k.invW)
 		if all || k.minVi <= Tvi {
@@ -306,32 +365,32 @@ func (k *fastKernel) drain(T float64, all bool) int {
 				slot := vi & (fastBuckets - 1)
 				if all || vi < Tvi {
 					// The whole bucket is inside the window.
-					for i := k.heads[slot]; i >= 0; i = k.events[i].next {
-						k.complete(k.events[i].job)
+					for i := int(k.heads[slot]); uint(i) < uint(len(events)); i = int(events[i].next) {
+						k.complete(events[i].job)
 						done++
 						k.live--
 					}
 					k.heads[slot] = -1
-					k.occ[slot>>6] &^= 1 << (uint(slot) & 63)
+					k.occ[(slot>>6)&(fastBuckets/64-1)] &^= 1 << (uint(slot) & 63)
 				} else {
 					// Boundary bucket: filter by time, relink survivors.
 					nh := int32(-1)
-					for i := k.heads[slot]; i >= 0; {
-						ev := &k.events[i]
-						next := ev.next
+					for i := int(k.heads[slot]); uint(i) < uint(len(events)); {
+						ev := &events[i]
+						next := int(ev.next)
 						if ev.at <= T {
 							k.complete(ev.job)
 							done++
 							k.live--
 						} else {
 							ev.next = nh
-							nh = i
+							nh = int32(i)
 						}
 						i = next
 					}
 					k.heads[slot] = nh
 					if nh < 0 {
-						k.occ[slot>>6] &^= 1 << (uint(slot) & 63)
+						k.occ[(slot>>6)&(fastBuckets/64-1)] &^= 1 << (uint(slot) & 63)
 					}
 					break
 				}
@@ -358,9 +417,9 @@ func (k *fastKernel) drain(T float64, all bool) int {
 	if k.overCnt > 0 && (all || k.overMin <= T) {
 		nh := int32(-1)
 		min := math.Inf(1)
-		for i := k.heads[fastBuckets]; i >= 0; {
-			ev := &k.events[i]
-			next := ev.next
+		for i := int(k.heads[fastBuckets]); uint(i) < uint(len(events)); {
+			ev := &events[i]
+			next := int(ev.next)
 			if all || ev.at <= T {
 				k.complete(ev.job)
 				done++
@@ -370,7 +429,7 @@ func (k *fastKernel) drain(T float64, all bool) int {
 					min = ev.at
 				}
 				ev.next = nh
-				nh = i
+				nh = int32(i)
 			}
 			i = next
 		}
@@ -387,6 +446,7 @@ func (k *fastKernel) drain(T float64, all bool) int {
 // parameters fastPathOK admits.
 //
 //prio:noalloc
+//prio:nobce
 func (st *runState) runFast(g *dag.Frozen, p Params, o *Oblivious, src *rng.Source) Metrics {
 	k := &st.fast
 	if k.owner != o || k.g != g {
@@ -416,10 +476,14 @@ func (st *runState) runFast(g *dag.Frozen, p Params, o *Oblivious, src *rng.Sour
 		batches++
 		requests += size
 		served := 0
+		jobOfRank := k.jobOfRank
 		for i := 0; i < size; i++ {
 			r, ok := k.elig.PopMin()
 			if !ok {
 				break
+			}
+			if uint(r) >= uint(len(jobOfRank)) {
+				panic("sim: runFast: rank out of range")
 			}
 			served++
 			unassigned--
@@ -427,7 +491,7 @@ func (st *runState) runFast(g *dag.Frozen, p Params, o *Oblivious, src *rng.Sour
 			if d < 1e-3 {
 				d = 1e-3 // a job cannot run backwards in time
 			}
-			k.insert(now+d, k.jobOfRank[r])
+			k.insert(now+d, jobOfRank[r])
 		}
 		if served == 0 {
 			stalls++
