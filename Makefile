@@ -67,7 +67,9 @@ bench-sim:
 # check against the checked-in BENCH_sim.json — a kernel change that
 # loses more than 15% throughput on the measured subset fails here
 # instead of landing silently (refresh the baseline with `make
-# bench-sim` when a slowdown is intentional).
+# bench-sim` when a slowdown is intentional). The airsn pattern covers
+# one row per policy family (prio, fifo, and the ranker-tier heft), so
+# the zero-byte assertion gates the new families' fast path too.
 bench-sim-smoke:
 	$(GO) test ./internal/sim -run xxx -bench 'BenchmarkRunKernel/airsn' -benchtime 2000x -benchmem | $(GO) run ./cmd/benchjson -assert-zero-allocs 'RunKernel/' -assert-zero-bytes 'RunKernel/' -assert-ns-trend BENCH_sim.json -ns-tolerance 1.15
 

@@ -42,7 +42,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dagsim", flag.ContinueOnError)
 	dagSpec := fs.String("dag", "airsn", "workload name or DAGMan file")
 	scale := fs.Int("scale", 1, "divide the paper workload size by this factor")
-	policy := fs.String("policy", "prio", "scheduling policy: prio, fifo, random, critpath, prio-maxjobs=N")
+	policy := fs.String("policy", "prio", "scheduling policy: prio, fifo, random, critpath, heft, graphene, prio-maxjobs=N, or a C1+C2 tie-breaker chain")
 	bit := fs.Float64("bit", 1, "mean batch interarrival time (mu_BIT)")
 	bs := fs.Float64("bs", 16, "mean batch size (mu_BS)")
 	seed := fs.Uint64("seed", 1, "simulation seed")

@@ -1,9 +1,15 @@
 // Command simgrid regenerates the evaluation figures of Section 4
 // (Figures 6-9): for a chosen dag it sweeps the (mu_BIT, mu_BS)
-// parameter grid, compares the PRIO and FIFO scheduling algorithms, and
+// parameter grid, compares two scheduling policies (PRIO vs FIFO by
+// default; -policy/-against accept any sim.PolicyFactory name), and
 // prints one row per grid point with the three metric ratios (expected
 // execution time, probability of stalling, expected utilization) as
-// medians with 95% confidence intervals.
+// medians with 95% confidence intervals. -policies sweeps several
+// numerators against one shared baseline in a single run: the last
+// comma-separated name is the denominator for every other name, each
+// pair's rows preceded by a "# ratios are NUM/DEN" header (and every
+// json row carries its pair in policy/against fields, so NDJSON output
+// stays self-describing).
 //
 // The whole grid runs as one flat parallel workload (sim.CompareGrid):
 // every point overlaps in execution, rows still print in row-major
@@ -30,6 +36,7 @@
 //
 //	simgrid -dag airsn [-scale 4] [-bit 10^-1,10^0,10^1] [-bs 2^2,2^4,2^6]
 //	        [-p 40] [-q 40] [-seed 1] [-workers N] [-format table|tsv|json]
+//	        [-policy prio -against fifo | -policies heft,graphene,fifo]
 //	        [-shard i/n] [-checkpoint FILE [-resume]]
 package main
 
@@ -40,6 +47,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cli"
@@ -70,13 +78,17 @@ func toJSONCI(ci stats.RatioCI) jsonCI {
 	return jsonCI{Median: ci.Median, Lo: ci.Lo, Hi: ci.Hi, Valid: true}
 }
 
-// jsonRow is one grid point in -format json, one object per line.
+// jsonRow is one grid point in -format json, one object per line. The
+// policy pair is embedded in every row so multi-pair sweeps
+// (-policies) stay pure NDJSON with self-describing lines.
 type jsonRow struct {
-	MuBIT float64 `json:"mu_bit"`
-	MuBS  float64 `json:"mu_bs"`
-	Time  jsonCI  `json:"time"`
-	Stall jsonCI  `json:"stall"`
-	Util  jsonCI  `json:"util"`
+	Policy  string  `json:"policy"`
+	Against string  `json:"against"`
+	MuBIT   float64 `json:"mu_bit"`
+	MuBS    float64 `json:"mu_bs"`
+	Time    jsonCI  `json:"time"`
+	Stall   jsonCI  `json:"stall"`
+	Util    jsonCI  `json:"util"`
 }
 
 // tsvCell renders one CI bound for -format tsv; invalid intervals print
@@ -88,7 +100,7 @@ func tsvCell(ci stats.RatioCI, v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
-func writeRow(w io.Writer, format string, gp sim.GridPoint) error {
+func writeRow(w io.Writer, format string, gp sim.GridPoint, policy, against string) error {
 	switch format {
 	case "table":
 		_, err := fmt.Fprintln(w, gp.FormatRow())
@@ -112,6 +124,7 @@ func writeRow(w io.Writer, format string, gp sim.GridPoint) error {
 		return err
 	case "json":
 		row := jsonRow{
+			Policy: policy, Against: against,
 			MuBIT: gp.MuBIT, MuBS: gp.MuBS,
 			Time:  toJSONCI(gp.ExecTime),
 			Stall: toJSONCI(gp.Stalling),
@@ -138,8 +151,9 @@ func run(args []string, w, ew io.Writer) error {
 	q := fs.Int("q", 40, "measurements averaged per sample")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	workers := fs.Int("workers", 0, "parallel replications (0 = all CPUs)")
-	policy := fs.String("policy", "prio", "numerator policy: prio, fifo, random, critpath, prio-maxjobs=N")
+	policy := fs.String("policy", "prio", "numerator policy (any sim.PolicyFactory name: prio, fifo, random, critpath, heft, graphene, prio-maxjobs=N, C1+C2 chains)")
 	against := fs.String("against", "fifo", "denominator policy (same names)")
+	policies := fs.String("policies", "", "comma-separated factory names; each is swept against the last (overrides -policy/-against; incompatible with -shard/-checkpoint)")
 	fail := fs.Float64("fail", 0, "per-assignment worker failure probability")
 	format := fs.String("format", "table", "output format: table, tsv, or json (one object per line)")
 	shardSpec := fs.String("shard", "", "compute only shard i of n, given as i/n (1-based); all shards must use an identical grid")
@@ -174,13 +188,44 @@ func run(args []string, w, ew io.Writer) error {
 		return fmt.Errorf("-bs: %w", err)
 	}
 
-	numFactory, err := sim.PolicyFactory(*policy, g)
-	if err != nil {
-		return err
+	// The policy pairs to sweep: one from -policy/-against, or several
+	// from -policies (each name against the last). All factories are
+	// resolved before any output, so a bad name anywhere fails clean.
+	type pair struct {
+		num, den         string
+		numFact, denFact func() sim.Policy
 	}
-	denFactory, err := sim.PolicyFactory(*against, g)
-	if err != nil {
-		return err
+	var pairs []pair
+	if *policies != "" {
+		if *checkpoint != "" || *shardSpec != "" {
+			return fmt.Errorf("-policies cannot be combined with -checkpoint or -shard (checkpoint manifests describe a single policy pair; sweep pairs one at a time)")
+		}
+		names := strings.Split(*policies, ",")
+		if len(names) < 2 {
+			return fmt.Errorf("-policies %q: want at least two comma-separated names (the last is the shared baseline)", *policies)
+		}
+		den := names[len(names)-1]
+		denFact, err := sim.PolicyFactory(den, g)
+		if err != nil {
+			return err
+		}
+		for _, num := range names[:len(names)-1] {
+			numFact, err := sim.PolicyFactory(num, g)
+			if err != nil {
+				return err
+			}
+			pairs = append(pairs, pair{num: num, den: den, numFact: numFact, denFact: denFact})
+		}
+	} else {
+		numFact, err := sim.PolicyFactory(*policy, g)
+		if err != nil {
+			return err
+		}
+		denFact, err := sim.PolicyFactory(*against, g)
+		if err != nil {
+			return err
+		}
+		pairs = []pair{{num: *policy, den: *against, numFact: numFact, denFact: denFact}}
 	}
 
 	opts := sim.ExperimentOptions{P: *p, Q: *q, Seed: *seed, Workers: *workers, Confidence: 95, Shard: shard}
@@ -190,8 +235,6 @@ func run(args []string, w, ew io.Writer) error {
 		}
 	}
 	comment("# dag=%s jobs=%d arcs=%d  p=%d q=%d seed=%d\n", label, g.NumNodes(), g.NumArcs(), *p, *q, *seed)
-	comment("# ratios are %s/%s: median [95%% CI]; <1 means %s wins on time/stall, >1 on utilization\n",
-		*policy, *against, *policy)
 	if *format == "tsv" {
 		fmt.Fprintln(w, "mu_bit\tmu_bs\ttime_med\ttime_lo\ttime_hi\tstall_med\tstall_lo\tstall_hi\tutil_med\tutil_lo\tutil_hi")
 	}
@@ -205,60 +248,67 @@ func run(args []string, w, ew io.Writer) error {
 		}
 	}
 
-	// Checkpointing: completed points already in the manifest are not
-	// recomputed (their rows print from the persisted distributions,
-	// bit-identically), and each newly computed point is appended as it
-	// finishes, so an interruption costs at most one in-flight point.
-	var have map[int]sim.PointSample
-	var save func(int, sim.PointSample)
-	var saveErr error
-	if *checkpoint != "" {
-		man, err := sim.OpenManifest(*checkpoint, g, points, numFactory().Name(), denFactory().Name(), opts, *resume)
-		if err != nil {
-			return err
-		}
-		defer man.Close()
-		have = man.Have()
-		save = func(i int, s sim.PointSample) {
-			if err := man.Append(i, points[i], s); err != nil && saveErr == nil {
-				saveErr = err
+	start := time.Now()
+	for _, pr := range pairs {
+		comment("# ratios are %s/%s: median [95%% CI]; <1 means %s wins on time/stall, >1 on utilization\n",
+			pr.num, pr.den, pr.num)
+
+		// Checkpointing: completed points already in the manifest are not
+		// recomputed (their rows print from the persisted distributions,
+		// bit-identically), and each newly computed point is appended as
+		// it finishes, so an interruption costs at most one in-flight
+		// point. Only single-pair sweeps checkpoint (guarded above).
+		var have map[int]sim.PointSample
+		var save func(int, sim.PointSample)
+		var saveErr error
+		if *checkpoint != "" {
+			man, err := sim.OpenManifest(*checkpoint, g, points, pr.numFact().Name(), pr.denFact().Name(), opts, *resume)
+			if err != nil {
+				return err
+			}
+			defer man.Close()
+			have = man.Have()
+			save = func(i int, s sim.PointSample) {
+				if err := man.Append(i, points[i], s); err != nil && saveErr == nil {
+					saveErr = err
+				}
+			}
+			if len(have) > 0 {
+				fmt.Fprintf(ew, "checkpoint %s: %d/%d points already done\n", *checkpoint, len(have), len(points))
 			}
 		}
-		if len(have) > 0 {
-			fmt.Fprintf(ew, "checkpoint %s: %d/%d points already done\n", *checkpoint, len(have), len(points))
-		}
-	}
 
-	// The rows this invocation will print: owned by the shard or
-	// restored from the checkpoint. Foreign points (another shard's,
-	// not yet checkpointed) are skipped entirely.
-	covered := 0
-	for i := range points {
-		if _, ok := have[i]; ok || i%shard.Count == shard.Index {
-			covered++
+		// The rows this sweep will print: owned by the shard or
+		// restored from the checkpoint. Foreign points (another
+		// shard's, not yet checkpointed) are skipped entirely.
+		covered := 0
+		for i := range points {
+			if _, ok := have[i]; ok || i%shard.Count == shard.Index {
+				covered++
+			}
 		}
-	}
 
-	start := time.Now()
-	done := 0
-	var rowErr error
-	sim.CompareGridResume(g, points, numFactory, denFactory, opts, have, save, func(i int, c sim.Comparison) {
-		gp := sim.GridPoint{MuBIT: points[i].BatchInterarrival, MuBS: points[i].BatchSize, Comparison: c}
-		if err := writeRow(w, *format, gp); err != nil && rowErr == nil {
-			rowErr = err
+		pairStart := time.Now()
+		done := 0
+		var rowErr error
+		sim.CompareGridResume(g, points, pr.numFact, pr.denFact, opts, have, save, func(i int, c sim.Comparison) {
+			gp := sim.GridPoint{MuBIT: points[i].BatchInterarrival, MuBS: points[i].BatchSize, Comparison: c}
+			if err := writeRow(w, *format, gp, pr.num, pr.den); err != nil && rowErr == nil {
+				rowErr = err
+			}
+			done++
+			elapsed := time.Since(pairStart)
+			eta := time.Duration(float64(elapsed) / float64(done) * float64(covered-done))
+			fmt.Fprintf(ew, "row %d/%d muBIT=%g muBS=%g elapsed=%v eta=%v\n",
+				done, covered, gp.MuBIT, gp.MuBS,
+				elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
+		})
+		if rowErr != nil {
+			return rowErr
 		}
-		done++
-		elapsed := time.Since(start)
-		eta := time.Duration(float64(elapsed) / float64(done) * float64(covered-done))
-		fmt.Fprintf(ew, "row %d/%d muBIT=%g muBS=%g elapsed=%v eta=%v\n",
-			done, covered, gp.MuBIT, gp.MuBS,
-			elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
-	})
-	if rowErr != nil {
-		return rowErr
-	}
-	if saveErr != nil {
-		return fmt.Errorf("checkpoint %s: %w", *checkpoint, saveErr)
+		if saveErr != nil {
+			return fmt.Errorf("checkpoint %s: %w", *checkpoint, saveErr)
+		}
 	}
 	comment("# total sweep time: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -168,6 +168,84 @@ func TestRunProgressETA(t *testing.T) {
 	}
 }
 
+// TestRunPolicies pins the -policies multi-pair sweep: two numerators
+// against one shared baseline in a single run, each pair announced by
+// its own "# ratios are NUM/DEN" header, with each pair's table rows
+// matching the equivalent single-pair -policy/-against invocation.
+func TestRunPolicies(t *testing.T) {
+	grid := []string{
+		"-dag", "airsn", "-scale", "25",
+		"-bit", "10^0", "-bs", "2^2,2^4", "-p", "3", "-q", "2", "-seed", "5",
+	}
+	var multi strings.Builder
+	if err := run(append(append([]string{}, grid...), "-policies", "heft,graphene,fifo"), &multi, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s := multi.String()
+	for _, hdr := range []string{"# ratios are heft/fifo", "# ratios are graphene/fifo"} {
+		if !strings.Contains(s, hdr) {
+			t.Fatalf("multi-pair output missing %q:\n%s", hdr, s)
+		}
+	}
+
+	// Split the output into per-pair row blocks and compare each against
+	// its single-pair run (headers and timing footers stripped).
+	dataRows := func(out string) []string {
+		var rows []string
+		for _, ln := range strings.Split(out, "\n") {
+			if strings.HasPrefix(ln, "muBIT=") {
+				rows = append(rows, ln)
+			}
+		}
+		return rows
+	}
+	multiRows := dataRows(s)
+	if len(multiRows) != 4 {
+		t.Fatalf("multi-pair sweep printed %d rows, want 4:\n%s", len(multiRows), s)
+	}
+	for i, num := range []string{"heft", "graphene"} {
+		var single strings.Builder
+		if err := run(append(append([]string{}, grid...), "-policy", num, "-against", "fifo"), &single, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		want := dataRows(single.String())
+		got := multiRows[i*2 : i*2+2]
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("%s/fifo rows differ between -policies and -policy runs:\n multi  %v\n single %v", num, got, want)
+		}
+	}
+}
+
+// TestRunPoliciesJSON checks every NDJSON row self-describes its pair
+// through the policy/against fields, in sweep order.
+func TestRunPoliciesJSON(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-dag", "airsn", "-scale", "25", "-format", "json",
+		"-bit", "10^0", "-bs", "2^2", "-p", "3", "-q", "2",
+		"-policies", "heft,graphene,fifo",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("json output has %d lines, want 2 (must stay pure NDJSON):\n%s", len(lines), out.String())
+	}
+	for i, wantPol := range []string{"heft", "graphene"} {
+		var row struct {
+			Policy  string `json:"policy"`
+			Against string `json:"against"`
+		}
+		if err := json.Unmarshal([]byte(lines[i]), &row); err != nil {
+			t.Fatalf("line %q: %v", lines[i], err)
+		}
+		if row.Policy != wantPol || row.Against != "fifo" {
+			t.Fatalf("row %d pair = %s/%s, want %s/fifo", i, row.Policy, row.Against, wantPol)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-dag", "nope"}, &out, io.Discard); err == nil {
@@ -189,6 +267,21 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-resume"}, &out, io.Discard); err == nil {
 		t.Fatal("-resume without -checkpoint accepted")
+	}
+	if err := run([]string{"-policy", "nope"}, &out, io.Discard); err == nil {
+		t.Fatal("unknown -policy accepted")
+	}
+	if err := run([]string{"-policies", "heft,nope"}, &out, io.Discard); err == nil {
+		t.Fatal("unknown name inside -policies accepted")
+	}
+	if err := run([]string{"-policies", "heft"}, &out, io.Discard); err == nil {
+		t.Fatal("single-name -policies accepted (no baseline to compare against)")
+	}
+	if err := run([]string{"-policies", "heft,fifo", "-shard", "1/2"}, &out, io.Discard); err == nil {
+		t.Fatal("-policies combined with -shard accepted")
+	}
+	if err := run([]string{"-policies", "heft,fifo", "-checkpoint", "x.ckpt"}, &out, io.Discard); err == nil {
+		t.Fatal("-policies combined with -checkpoint accepted")
 	}
 }
 

@@ -11,13 +11,21 @@
 // simulator's outer driver loop dispatches policies through an
 // interface on purpose (it is cold per replication), and a
 // reachability rule would force annotations onto genuinely polymorphic
-// code. Inside the annotated bodies the current tree contains no
-// interface calls at all, so the analyzer holds the region closed
-// rather than policing existing sites — the CI injection probe, which
-// plants an interface call through a variable and expects priolint to
-// turn red, proves the check is not vacuous. Calls on cold paths
-// (panic arguments, blocks ending in panic or a non-nil error return)
-// are exempt, mirroring the noalloc exemptions.
+// code. Calls on cold paths (panic arguments, blocks ending in panic
+// or a non-nil error return) are exempt, mirroring the noalloc
+// exemptions. The CI injection probes — one against the devirtclean
+// fixture, one that un-pins the real kernel's ranker hook — prove the
+// check is not vacuous.
+//
+// A function may additionally (or instead) be annotated //prio:devirt:
+// the same proof obligation on its interface calls, plus a census
+// obligation — the body must contain at least one non-cold interface
+// call. That positive half exists for deliberate devirtualized seams
+// like the replication kernel's ranker hook: without it, deleting the
+// hook (or refactoring it into a direct field read) would leave the
+// pragma asserting a proof about nothing, and the "every ranker family
+// is dispatched through one proven call site" claim would rot
+// silently.
 package devirt
 
 import (
@@ -33,8 +41,9 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "devirt",
-	Doc: "check that interface calls lexically inside //prio:noalloc functions " +
-		"are devirtualized to a concrete target by the compiler",
+	Doc: "check that interface calls lexically inside //prio:noalloc and //prio:devirt " +
+		"functions are devirtualized to a concrete target by the compiler, and that " +
+		"//prio:devirt functions actually contain such a call",
 	RunProgram:         run,
 	NeedsCompilerFacts: true,
 }
@@ -48,8 +57,19 @@ func run(pass *analysis.ProgramPass) error {
 		for _, file := range pkg.Syntax {
 			for _, decl := range file.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || !pragma.Has(fd.Doc, "prio:noalloc") {
+				if !ok || fd.Body == nil {
 					continue
+				}
+				hasNoalloc := pragma.Has(fd.Doc, "prio:noalloc")
+				hasDevirt := pragma.Has(fd.Doc, "prio:devirt")
+				if !hasNoalloc && !hasDevirt {
+					continue
+				}
+				// Diagnostics name the pragma that put the body in scope;
+				// with both, noalloc is the stronger contract.
+				tag := "//prio:noalloc"
+				if !hasNoalloc {
+					tag = "//prio:devirt"
 				}
 				declPos := pkg.Fset.Position(fd.Pos())
 				if _, compiled := cf.Decisions[compilerfact.FileLine{File: declPos.Filename, Line: declPos.Line}]; !compiled {
@@ -59,6 +79,7 @@ func run(pass *analysis.ProgramPass) error {
 					continue
 				}
 				returnsError := declReturnsError(pkg.Info, fd)
+				hotCalls := 0
 				analysis.WithStack(fd.Body, func(nd ast.Node, stack []ast.Node) bool {
 					call, ok := nd.(*ast.CallExpr)
 					if !ok {
@@ -75,15 +96,21 @@ func run(pass *analysis.ProgramPass) error {
 					if noalloc.Cold(nd, stack, returnsError) {
 						return true
 					}
+					hotCalls++
 					start := pkg.Fset.Position(call.Pos())
 					end := pkg.Fset.Position(call.End())
 					if _, ok := cf.DevirtualizedAt(start.Filename, start.Line, start.Column, end.Line, end.Column); !ok {
 						pass.Reportf(call.Lparen,
-							"interface call %s.%s inside //prio:noalloc function %s is not devirtualized by the compiler (indirect dispatch on the zero-allocation path)",
-							types.ExprString(sel.X), sel.Sel.Name, fd.Name.Name)
+							"interface call %s.%s inside %s function %s is not devirtualized by the compiler (indirect dispatch on the zero-allocation path)",
+							types.ExprString(sel.X), sel.Sel.Name, tag, fd.Name.Name)
 					}
 					return true
 				})
+				if hasDevirt && hotCalls == 0 {
+					pass.Reportf(fd.Name.Pos(),
+						"function %s is annotated //prio:devirt but contains no non-cold interface call for the compiler to devirtualize (the seam the pragma documents is gone)",
+						fd.Name.Name)
+				}
 			}
 		}
 	}

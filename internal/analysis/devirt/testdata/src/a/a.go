@@ -41,8 +41,40 @@ func guarded(ok bool) int {
 	return 0
 }
 
+// seam carries the devirt pragma but its interface call goes through
+// the mutable package variable: the same violation as hot, named after
+// the devirt contract instead of the noalloc one.
+//
+//prio:devirt
+func seam() int {
+	return sink.area() // want `interface call sink\.area inside //prio:devirt function seam is not devirtualized by the compiler`
+}
+
+// vacuous carries the devirt pragma but contains no interface call at
+// all — the census half of the contract: a documented devirtualized
+// seam that quietly lost its call must not read as proven.
+//
+//prio:devirt
+func vacuous(x int) int { // want `function vacuous is annotated //prio:devirt but contains no non-cold interface call for the compiler to devirtualize`
+	return x * 2
+}
+
+// coldOnly has an interface call, but only on a cold path — the census
+// counts non-cold calls, so this is as vacuous as having none.
+//
+//prio:devirt
+func coldOnly(ok bool) int { // want `function coldOnly is annotated //prio:devirt but contains no non-cold interface call for the compiler to devirtualize`
+	if !ok {
+		panic(sink.area())
+	}
+	return 1
+}
+
 var (
 	_ = pick
 	_ = hot
 	_ = guarded
+	_ = seam
+	_ = vacuous
+	_ = coldOnly
 )

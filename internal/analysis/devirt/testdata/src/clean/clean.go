@@ -20,6 +20,16 @@ func hot(x int) int {
 	return a.add(x)
 }
 
+// seam is the //prio:devirt happy path: the pragma's census finds the
+// pinned interface call and the compiler devirtualizes it, so the
+// deliberate seam is proven rather than assumed.
+//
+//prio:devirt
+func seam(x int) int {
+	var a adder = minus{k: 2}
+	return a.add(x)
+}
+
 // polymorphic dispatch stays legal outside annotated regions: the
 // simulator's policy interface is exactly this shape.
 var sink adder
@@ -38,6 +48,7 @@ func pick(neg bool) {
 
 var (
 	_ = hot
+	_ = seam
 	_ = cold
 	_ = pick
 )

@@ -1,0 +1,253 @@
+// Package rank is the static-priority tier of the policy architecture:
+// a Ranker turns a frozen dag into a total order over its jobs, and the
+// simulator's runtime tier (internal/sim) executes any such order
+// through one oblivious zero-alloc state machine. Keeping the two tiers
+// apart is what lets every order-driven policy family — the paper's
+// PRIO, classic critical path, HEFT-style upward ranks, Graphene-style
+// troublesome-subset packing, and ad-hoc tie-breaker chains — inherit
+// the order-free fast kernel without touching it.
+//
+// Rankers are built from Components: a Component scores every job with
+// an int64 (higher runs earlier) and a chain of components sorts jobs
+// lexicographically — the first component decides, later components
+// break its ties, and the job index breaks whatever survives, so a
+// chain's order is a pure function of the dag regardless of the sort
+// algorithm behind it. The spec grammar mirrors that structure:
+//
+//	prio              the prio tool's full heuristic pipeline
+//	critpath          chain(critpath): longest path to a sink, descending
+//	heft              chain(heft): Zhang et al. upward rank, descending
+//	graphene          chain(trouble, critpath, outdeg)
+//	C1+C2+...+Ck      explicit component chain; tiebreak=NAME is an
+//	                  accepted alias for a component used as a tie-breaker
+//
+// Component names: critpath, heft, outdeg, trouble.
+package rank
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+)
+
+// Ranker produces a total order over the jobs of a dag: Order(g)[i] is
+// the job that runs with priority i. Orders must be pure functions of
+// the dag — the runtime tier computes them once per sweep and replays
+// them across thousands of replications.
+type Ranker interface {
+	// Name is the runtime policy name the simulator reports (e.g.
+	// "PRIO", "HEFT", "HEFT+OUTDEG").
+	Name() string
+	// Order returns a permutation of [0, g.NumNodes()).
+	Order(g *dag.Frozen) []int
+}
+
+// Component scores every job of a dag; a higher score runs earlier.
+// Scores are int64 so lexicographic chains compare exactly — float
+// heuristics quantize into fixed point at a documented scale instead of
+// leaking rounding into tie-breaking.
+type Component struct {
+	Name  string
+	Score func(g *dag.Frozen) []int64
+}
+
+// fixedScale converts a float heuristic into the int64 score space:
+// 32 fractional bits. Upward ranks are bounded by the node count, so
+// even a million-node dag stays far below the int64 ceiling.
+const fixedScale = 1 << 32
+
+// components is the registry, keyed by spec name. Registration order is
+// irrelevant; Components() sorts.
+var components = map[string]Component{
+	"critpath": {Name: "critpath", Score: critpathScore},
+	"heft":     {Name: "heft", Score: heftScore},
+	"outdeg":   {Name: "outdeg", Score: outdegScore},
+	"trouble":  {Name: "trouble", Score: troubleScore},
+}
+
+// Components lists the registered component names, sorted.
+func Components() []string {
+	out := make([]string, 0, len(components))
+	for name := range components {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Names lists the named ranker families New accepts, in grammar order.
+// Component chains (C1+C2+...) are accepted on top of these.
+func Names() []string { return []string{"prio", "critpath", "heft", "graphene"} }
+
+// New resolves a spec — a named family from Names() or a '+'-joined
+// component chain — into a Ranker. The prio pipeline takes its options
+// from opts; component chains ignore it.
+func New(spec string, opts core.Options) (Ranker, error) {
+	switch spec {
+	case "prio":
+		return prioRanker{opts: opts}, nil
+	case "critpath":
+		return chain{name: "CRITPATH", comps: []Component{components["critpath"]}}, nil
+	case "heft":
+		return chain{name: "HEFT", comps: []Component{components["heft"]}}, nil
+	case "graphene":
+		// Grandl et al.'s packing insight, projected onto a single
+		// machine group: schedule the troublesome core (the jobs on a
+		// longest path) before everything else, then fall back to
+		// critical-path levels and fan-out.
+		return chain{name: "GRAPHENE", comps: []Component{
+			components["trouble"], components["critpath"], components["outdeg"],
+		}}, nil
+	}
+	if !strings.Contains(spec, "+") {
+		return nil, fmt.Errorf("rank: unknown ranker %q (want %s, or a C1+C2 chain of %s)",
+			spec, strings.Join(Names(), ", "), strings.Join(Components(), ", "))
+	}
+	parts := strings.Split(spec, "+")
+	comps := make([]Component, 0, len(parts))
+	names := make([]string, 0, len(parts))
+	for _, part := range parts {
+		name := strings.TrimPrefix(part, "tiebreak=")
+		c, ok := components[name]
+		if !ok {
+			return nil, fmt.Errorf("rank: chain %q: unknown component %q (want %s)",
+				spec, part, strings.Join(Components(), ", "))
+		}
+		comps = append(comps, c)
+		names = append(names, strings.ToUpper(name))
+	}
+	return chain{name: strings.Join(names, "+"), comps: comps}, nil
+}
+
+// prioRanker runs the full prio heuristic pipeline (the paper's tool).
+type prioRanker struct{ opts core.Options }
+
+func (r prioRanker) Name() string { return "PRIO" }
+
+func (r prioRanker) Order(g *dag.Frozen) []int {
+	return core.PrioritizeOpts(g, r.opts).Order
+}
+
+// chain sorts jobs by a lexicographic component comparison: higher
+// score first at each position, job index as the final tie-breaker.
+type chain struct {
+	name  string
+	comps []Component
+}
+
+func (c chain) Name() string { return c.name }
+
+func (c chain) Order(g *dag.Frozen) []int {
+	n := g.NumNodes()
+	scores := make([][]int64, len(c.comps))
+	for i, comp := range c.comps {
+		scores[i] = comp.Score(g)
+		if len(scores[i]) != n {
+			panic(fmt.Sprintf("rank: component %s scored %d jobs, dag has %d", comp.Name, len(scores[i]), n))
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		u, v := order[a], order[b]
+		for _, s := range scores {
+			if s[u] != s[v] {
+				return s[u] > s[v]
+			}
+		}
+		return u < v
+	})
+	return order
+}
+
+// critpathScore is the classic critical-path heuristic: the length (in
+// arcs) of the longest path from the job to a sink, so deep work drains
+// first. Identical to the height the simulator's original CRITPATH
+// policy counting-sorted on.
+func critpathScore(g *dag.Frozen) []int64 {
+	height, _ := g.Reverse().Levels()
+	out := make([]int64, len(height))
+	for v, h := range height {
+		out[v] = int64(h)
+	}
+	return out
+}
+
+// heftScore is the upward rank of Zhang et al.'s HEFT-style priorities,
+// adapted to the paper's grid model where every job has the same unit
+// cost expectation and the pool is homogeneous: classic max-based
+// upward rank then degenerates into the critical-path height, so this
+// uses the averaged recurrence
+//
+//	ru(v) = 1 + mean over children c of ru(c)   (sinks: ru = 1)
+//
+// — the expected remaining work of a random downward walk — which keeps
+// HEFT's "heavy subtree first" character distinct from pure path
+// length: a job feeding many deep children outranks a job feeding one
+// path of the same height. Scores are quantized at 32 fractional bits;
+// the float recurrence itself is deterministic (children are summed in
+// CSR order, one statement per operation so no FMA contraction).
+func heftScore(g *dag.Frozen) []int64 {
+	n := g.NumNodes()
+	ru := make([]float64, n)
+	topo := g.Topo()
+	for i := n - 1; i >= 0; i-- {
+		v := int(topo[i])
+		children := g.Children(v)
+		if len(children) == 0 {
+			ru[v] = 1
+			continue
+		}
+		sum := 0.0
+		for _, c := range children {
+			sum += ru[c]
+		}
+		mean := sum / float64(len(children))
+		ru[v] = 1 + mean
+	}
+	out := make([]int64, n)
+	for v, r := range ru {
+		out[v] = int64(math.Round(r * fixedScale))
+	}
+	return out
+}
+
+// outdegScore ranks by fan-out: the paper's own intuition (eligibility
+// maximization) reduced to its cheapest local signal.
+func outdegScore(g *dag.Frozen) []int64 {
+	n := g.NumNodes()
+	out := make([]int64, n)
+	for v := 0; v < n; v++ {
+		out[v] = int64(g.OutDegree(v))
+	}
+	return out
+}
+
+// troubleScore marks the troublesome core: 1 for jobs on a longest
+// path through the dag (depth + height equals the critical-path length
+// in arcs), 0 elsewhere. On its own it is a coarse two-class split; in
+// the graphene chain it front-loads exactly the jobs that gate the
+// makespan.
+func troubleScore(g *dag.Frozen) []int64 {
+	depth, _ := g.Levels()
+	height, _ := g.Reverse().Levels()
+	cp := 0
+	for _, d := range depth {
+		if d > cp {
+			cp = d
+		}
+	}
+	out := make([]int64, len(depth))
+	for v := range out {
+		if depth[v]+height[v] == cp {
+			out[v] = 1
+		}
+	}
+	return out
+}

@@ -270,6 +270,15 @@ func TestSimulate(t *testing.T) {
 		t.Fatalf("exec_time = %+v, want a valid positive ratio", got.ExecTime)
 	}
 
+	// Ranker-tier families flow through the same factory grammar.
+	resp = post(t, ts.URL+"/v1/simulate?p=4&q=4&mu_bs=2&seed=7&policy_a=heft&policy_b=graphene", fig3Dag, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ranker families: status = %d, want 200", resp.StatusCode)
+	}
+	if got := decodeBody[simResponse](t, resp); got.PolicyA != "heft" || got.PolicyB != "graphene" {
+		t.Fatalf("ranker families: response header = %+v", got)
+	}
+
 	for _, tc := range []struct {
 		name, query string
 		want        int

@@ -200,7 +200,7 @@ func Compare(g *dag.Frozen, p Params, a, b func() Policy, opts ExperimentOptions
 // point: the PRIO schedule (computed once) against FIFO.
 func ComparePRIOFIFO(g *dag.Frozen, p Params, opts ExperimentOptions) Comparison {
 	prio := NewPRIO(g) // compute the schedule once; clone per worker
-	order := append([]int(nil), prio.order...)
+	order := prio.StaticOrder()
 	return Compare(g, p,
 		func() Policy { return NewOblivious("PRIO", order) },
 		func() Policy { return NewFIFO() },
@@ -220,7 +220,7 @@ type GridPoint struct {
 // once per point, in row-major order, as points complete.
 func Sweep(g *dag.Frozen, muBITs, muBSs []float64, opts ExperimentOptions, progress func(GridPoint)) []GridPoint {
 	prio := NewPRIO(g)
-	order := append([]int(nil), prio.order...)
+	order := prio.StaticOrder()
 
 	points := make([]Params, 0, len(muBITs)*len(muBSs))
 	for _, bit := range muBITs {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/rank"
 	"repro/internal/rng"
 )
 
@@ -62,29 +63,14 @@ func (r *Random) Next() (int, bool) {
 // NewCriticalPath builds the highest-level-first oblivious policy: jobs
 // are prioritized by the length of the longest path from them to a sink
 // (descending, ties by index), the textbook critical-path heuristic.
+// The order comes from the ranker tier, so this constructor and the
+// factory's "critpath" are the same ranker by construction.
 func NewCriticalPath(g *dag.Frozen) *Oblivious {
-	return NewOblivious("CRITPATH", criticalPathOrder(g))
-}
-
-func sortByHeight(order, height []int) {
-	// Counting sort over heights keeps this O(n + h) and deterministic.
-	maxH := 0
-	for _, h := range height {
-		if h > maxH {
-			maxH = h
-		}
+	r, err := rank.New("critpath", core.Options{})
+	if err != nil {
+		panic(err) // "critpath" is a registered family
 	}
-	buckets := make([][]int, maxH+1)
-	for _, v := range order {
-		buckets[height[v]] = append(buckets[height[v]], v)
-	}
-	i := 0
-	for h := maxH; h >= 0; h-- {
-		for _, v := range buckets[h] {
-			order[i] = v
-			i++
-		}
-	}
+	return NewOblivious(r.Name(), r.Order(g))
 }
 
 // TwoLevel wraps a priority order with the Section 3.2 two-queue model:

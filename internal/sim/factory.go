@@ -7,17 +7,29 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/rank"
 )
 
 // PolicyFactory resolves a policy name to a constructor for g. Factories
 // are needed (rather than instances) because policies are stateful and
-// the experiment driver runs one per worker. Recognized names:
+// the experiment driver runs one per worker. Every name below except
+// fifo, random, and the maxjobs throttle resolves through the ranker
+// tier (internal/rank) into one Oblivious state machine, so the whole
+// family shares the kernel's order-free fast path. Recognized names —
+// PolicyGrammar returns exactly this table's first column, and
+// TestFactoryDocGrammar pins the two together:
 //
 //	prio            the prio tool's schedule (the paper's PRIO)
 //	fifo            DAGMan's eligibility-order queue (the paper's FIFO)
 //	random          uniformly random eligible job
 //	critpath        highest-level-first (classic critical path)
+//	heft            upward-rank priorities (Zhang et al., HEFT-style)
+//	graphene        troublesome-subset-first packing (Grandl et al.)
 //	prio-maxjobs=N  PRIO behind the Section 3.2 two-queue throttle
+//	maxjobs=N       alias for prio-maxjobs=N
+//	C1+C2+...+Ck    rank-component chain: C1 decides, later components
+//	                break ties (tiebreak=NAME accepted); components are
+//	                critpath, heft, outdeg, trouble (see internal/rank)
 func PolicyFactory(name string, g *dag.Frozen) (func() Policy, error) {
 	return PolicyFactoryOpts(name, g, core.Options{})
 }
@@ -29,16 +41,10 @@ func PolicyFactory(name string, g *dag.Frozen) (func() Policy, error) {
 // returned constructors never run the pipeline again.
 func PolicyFactoryOpts(name string, g *dag.Frozen, opts core.Options) (func() Policy, error) {
 	switch {
-	case name == "prio":
-		order := core.PrioritizeOpts(g, opts).Order
-		return func() Policy { return NewOblivious("PRIO", order) }, nil
 	case name == "fifo":
 		return func() Policy { return NewFIFO() }, nil
 	case name == "random":
 		return func() Policy { return NewRandom() }, nil
-	case name == "critpath":
-		order := criticalPathOrder(g)
-		return func() Policy { return NewOblivious("CRITPATH", order) }, nil
 	case strings.HasPrefix(name, "prio-maxjobs="),
 		strings.HasPrefix(name, "maxjobs="):
 		_, val, _ := strings.Cut(name, "=")
@@ -49,21 +55,26 @@ func PolicyFactoryOpts(name string, g *dag.Frozen, opts core.Options) (func() Po
 		order := core.PrioritizeOpts(g, opts).Order
 		return func() Policy { return NewTwoLevel(order, n) }, nil
 	default:
-		return nil, fmt.Errorf("sim: unknown policy %q (want prio, fifo, random, critpath, prio-maxjobs=N)", name)
+		r, err := rank.New(name, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w (policy grammar: %s)", err, strings.Join(PolicyGrammar(), ", "))
+		}
+		order := r.Order(g)
+		polName := r.Name()
+		return func() Policy { return NewOblivious(polName, order) }, nil
 	}
 }
 
-// criticalPathOrder exposes the order used by NewCriticalPath so the
-// factory can capture it once per sweep.
-func criticalPathOrder(g *dag.Frozen) []int {
-	height, _ := g.Reverse().Levels()
-	order := make([]int, g.NumNodes())
-	for i := range order {
-		order[i] = i
-	}
-	sortByHeight(order, height)
-	return order
+// PolicyNames lists the recognized fixed policy names (the ones that
+// take no parameter), in the grammar table's order. The serving layer
+// publishes this list on /v1/workloads.
+func PolicyNames() []string {
+	return []string{"prio", "fifo", "random", "critpath", "heft", "graphene"}
 }
 
-// PolicyNames lists the recognized fixed policy names.
-func PolicyNames() []string { return []string{"prio", "fifo", "random", "critpath"} }
+// PolicyGrammar lists every form the factory accepts: the fixed names
+// plus the parameterized ones, exactly as the PolicyFactory doc table
+// spells them. TestFactoryDocGrammar asserts table and function agree.
+func PolicyGrammar() []string {
+	return append(PolicyNames(), "prio-maxjobs=N", "maxjobs=N", "C1+C2+...+Ck")
+}

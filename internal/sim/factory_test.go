@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"os"
+	"slices"
+	"strings"
 	"testing"
 
 	"repro/internal/rng"
@@ -26,9 +29,40 @@ func TestFactoryKnownPolicies(t *testing.T) {
 	}
 }
 
+// TestFactoryDocGrammar mirrors priolint's TestAnalyzersDocumented:
+// the tab-indented grammar table in PolicyFactory's doc comment and
+// PolicyGrammar() must list exactly the same forms, in the same order,
+// so the factory and its documentation cannot drift apart (the table
+// had already drifted once, silently omitting the maxjobs= alias).
+func TestFactoryDocGrammar(t *testing.T) {
+	src, err := os.ReadFile("factory.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []string
+	for _, ln := range strings.Split(string(src), "\n") {
+		if strings.HasPrefix(ln, "func ") {
+			break // only the doc comment above the first declaration
+		}
+		rest, ok := strings.CutPrefix(ln, "//\t")
+		if !ok || rest == "" || rest[0] == ' ' {
+			continue // not a table row, or a wrapped continuation line
+		}
+		rows = append(rows, strings.Fields(rest)[0])
+	}
+	if want := PolicyGrammar(); !slices.Equal(rows, want) {
+		t.Fatalf("PolicyFactory doc table and PolicyGrammar() disagree:\n table   %v\n grammar %v", rows, want)
+	}
+	// The fixed names are a prefix of the grammar, so the serving
+	// layer's published list stays a subset of what the factory parses.
+	if !slices.Equal(PolicyGrammar()[:len(PolicyNames())], PolicyNames()) {
+		t.Fatalf("PolicyNames() %v is not a prefix of PolicyGrammar() %v", PolicyNames(), PolicyGrammar())
+	}
+}
+
 func TestFactoryErrors(t *testing.T) {
 	g := workloads.AIRSN(5)
-	for _, bad := range []string{"", "nope", "maxjobs=x", "prio-maxjobs=-1"} {
+	for _, bad := range []string{"", "nope", "maxjobs=x", "prio-maxjobs=-1", "heft+nope", "heft+", "+critpath"} {
 		if _, err := PolicyFactory(bad, g); err == nil {
 			t.Errorf("PolicyFactory(%q) accepted", bad)
 		}

@@ -2,9 +2,11 @@ package sim
 
 import (
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/dag"
+	"repro/internal/rank"
 	"repro/internal/rng"
 )
 
@@ -35,6 +37,10 @@ func FuzzKernelReplication(f *testing.F) {
 	// covering tiny and huge batch sizes and both seeds equal.
 	f.Add([]byte{0x07, 0xff, 0xf0}, uint8(0), uint16(5), uint16(1599), uint8(0), false, uint64(11), uint64(11))
 	f.Add([]byte{0xff, 0xff, 0xff, 0x0f}, uint8(4), uint16(299), uint16(1), uint8(0), false, uint64(21), uint64(4))
+	// High bit set: composed tie-breaker chains from the ranker
+	// registry (rotation and length from the remaining bits).
+	f.Add([]byte{0xaa, 0x33}, uint8(0x80), uint16(40), uint16(200), uint8(0), false, uint64(5), uint64(17))
+	f.Add([]byte{0xff, 0x0f, 0xf0}, uint8(0xe5), uint16(120), uint16(900), uint8(0), false, uint64(13), uint64(13))
 
 	f.Fuzz(func(t *testing.T, edges []byte, polSel uint8, muBIT, muBS uint16, failPct uint8, rollover bool, seed1, seed2 uint64) {
 		g := fuzzDag(edges)
@@ -50,8 +56,28 @@ func FuzzKernelReplication(f *testing.F) {
 			FailureProb:       float64((failPct>>1)%80) / 100 * float64(failPct&1),
 			RolloverWorkers:   rollover,
 		}
-		names := []string{"prio", "fifo", "random", "prio-maxjobs=2", "critpath"}
-		factory, err := PolicyFactory(names[int(polSel)%len(names)], g)
+		// Policy selection spans the whole factory grammar: the low
+		// bits index the fixed names (every ranker family included),
+		// and the high bit switches to a composed tie-breaker chain
+		// drawn from the ranker registry — rotation and length come
+		// from the remaining bits, so every component appears in every
+		// chain position across the corpus and the fast path's
+		// bit-identity is fuzzed for ad-hoc compositions too.
+		var name string
+		if polSel&0x80 != 0 {
+			comps := rank.Components()
+			length := 2 + int(polSel>>5&0x3) // 2..5 components, repeats allowed
+			start := int(polSel) % len(comps)
+			parts := make([]string, 0, length)
+			for i := 0; i < length; i++ {
+				parts = append(parts, comps[(start+i)%len(comps)])
+			}
+			name = strings.Join(parts, "+")
+		} else {
+			names := []string{"prio", "fifo", "random", "prio-maxjobs=2", "critpath", "heft", "graphene"}
+			name = names[int(polSel)%len(names)]
+		}
+		factory, err := PolicyFactory(name, g)
 		if err != nil {
 			t.Fatal(err)
 		}

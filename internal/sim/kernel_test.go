@@ -340,11 +340,19 @@ func BenchmarkRunKernel(b *testing.B) {
 			b.Fatal(err)
 		}
 		order := core.Prioritize(g).Order
+		heftFactory, err := PolicyFactory("heft", g)
+		if err != nil {
+			b.Fatal(err)
+		}
 		p := DefaultParams(1, w.muBS)
+		// One ranker-tier family (heft) benches alongside the paper's
+		// pair so BENCH_sim.json carries a per-policy row proving the
+		// new families run the same zero-alloc fast path — bench-sim's
+		// RunKernel/ assertions gate its B/op at exactly 0 like prio's.
 		for _, tc := range []struct {
 			name string
 			pol  Policy
-		}{{"prio", NewOblivious("PRIO", order)}, {"fifo", NewFIFO()}} {
+		}{{"prio", NewOblivious("PRIO", order)}, {"fifo", NewFIFO()}, {"heft", heftFactory()}} {
 			b.Run(w.dag+"/"+tc.name, func(b *testing.B) {
 				runner := NewRunner(g)
 				runner.Run(p, tc.pol, 1) // reach steady state before measuring

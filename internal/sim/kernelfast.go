@@ -134,21 +134,44 @@ type fastKernel struct {
 // (failures draw randomness per pop; rollover assigns — and therefore
 // draws job times — at completion times; an observer sees pop order
 // and original ids; per-job means are indexed in the original space).
+//
+// Admission is by capability, not concrete type: any policy
+// implementing staticRank — in practice anything embedding *Oblivious,
+// which promotes both methods — rides the fast kernel, so new
+// ranker-backed families (and wrappers adding Name-only behaviour) are
+// admitted without touching this gate. The kernel runs on the
+// fastCore() *Oblivious, which carries the same total order the
+// wrapper would replay.
 func fastPathOK(p Params, pol Policy, obs Observer) (*Oblivious, bool) {
-	o, ok := pol.(*Oblivious)
+	sr, ok := pol.(staticRank)
 	if !ok || obs != nil || p.FailureProb != 0 || p.RolloverWorkers || len(p.JobMeans) != 0 {
 		return nil, false
 	}
-	return o, true
+	return sr.fastCore(), true
 }
+
+// rankHook is the CI anti-vacuousness seam for the devirt proof on
+// runFast: a mutable package-level interface variable whose dynamic
+// type the compiler cannot pin (swapRankHook below keeps it
+// unprovable, mirroring the devirtclean fixture's Churn). CI's
+// injection probe seds runFast's INJECT marker into `sr = rankHook`,
+// which must turn `make lint`'s devirt gate red — proving the gate
+// still distinguishes the pinned local from an arbitrary interface
+// call. Production code never reads it.
+var rankHook staticRank = &Oblivious{}
+
+// swapRankHook makes rankHook's dynamic type depend on a call the
+// compiler cannot see through, so the injected call above can never be
+// accidentally devirtualized into a passing build.
+func swapRankHook(sr staticRank) { rankHook = sr }
 
 // build derives the topo-relabeled topology and rank tables for (g, o),
 // reusing every buffer whose size still fits. Rebuilding for a policy
 // change on the same dag touches no allocator.
-func (k *fastKernel) build(g *dag.Frozen, o *Oblivious) {
+func (k *fastKernel) build(g *dag.Frozen, o *Oblivious, order []int) {
 	n := g.NumNodes()
-	if len(o.order) != n {
-		panic(fmt.Sprintf("sim: order covers %d jobs, dag has %d", len(o.order), n))
+	if len(order) != n {
+		panic(fmt.Sprintf("sim: order covers %d jobs, dag has %d", len(order), n))
 	}
 	k.owner, k.g = o, g
 	topo, pos := g.Topo(), g.TopoPositions()
@@ -182,7 +205,7 @@ func (k *fastKernel) build(g *dag.Frozen, o *Oblivious) {
 		k.initRem[i] = int32(g.InDegree(int(v)))
 	}
 	k.childStart[n] = w
-	for r, v := range o.order {
+	for r, v := range order {
 		j := pos[v]
 		k.jobOfRank[r] = j
 		k.rank[j] = int32(r)
@@ -445,12 +468,25 @@ func (k *fastKernel) drain(T float64, all bool) int {
 // and reproduces its metrics bit for bit on the policies and
 // parameters fastPathOK admits.
 //
+// The //prio:devirt pragma adds the devirtualization obligation on top
+// of noalloc: the ranker capability call below must compile to a
+// direct call (the compiler proves sr's dynamic type), and the census
+// in the devirt analyzer fails the build if the interface call ever
+// disappears — so the pragma can never go vacuously green.
+//
 //prio:noalloc
 //prio:nobce
+//prio:devirt
 func (st *runState) runFast(g *dag.Frozen, p Params, o *Oblivious, src *rng.Source) Metrics {
 	k := &st.fast
+	// The rank order reaches the kernel through the staticRank
+	// capability, pinned to a local so the compiler devirtualizes the
+	// call (proven by `make lint`; see rankHook for the CI probe that
+	// keeps that proof honest).
+	var sr staticRank = o
+	// INJECT: ranker call through the mutable hook goes here
 	if k.owner != o || k.g != g {
-		k.build(g, o)
+		k.build(g, o, sr.StaticOrder())
 	}
 	n := g.NumNodes()
 	k.start(p)

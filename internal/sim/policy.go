@@ -9,6 +9,30 @@ import (
 	"repro/internal/rng"
 )
 
+// staticRank is the runtime tier's capability interface: a policy
+// whose entire behaviour is determined by one fixed total order over
+// the jobs. fastPathOK admits any implementation to the order-free
+// fast kernel — the capability, not the concrete type, is the
+// admission ticket — so every ranker family internal/rank produces
+// (and any wrapper embedding *Oblivious) inherits the fast path.
+//
+// Embedding *Oblivious promotes both methods, and doing so is a
+// semantic claim: the embedder must not change assignment behaviour
+// (Eligible/Next), or the fast path would execute the static order
+// while the ordered path executes the override. Policies that do
+// change it (TwoLevel's bounded forwarding) hold an order field
+// instead of embedding.
+type staticRank interface {
+	Policy
+	// StaticOrder returns the fixed order (position -> job) that fully
+	// determines the policy. The kernel reads the order through this
+	// seam — see the devirtualized ranker hook in runFast.
+	StaticOrder() []int
+	// fastCore returns the Oblivious state machine executing that
+	// order; the fast kernel keys its pooled build on its identity.
+	fastCore() *Oblivious
+}
+
 // Oblivious is the paper's oblivious scheduling regimen: a fixed total
 // order P over the jobs; when requests arrive, the eligible unassigned
 // jobs smallest under P are handed out. With P = the prio tool's
@@ -43,6 +67,13 @@ func NewPRIO(g *dag.Frozen) *Oblivious {
 
 // Name implements Policy.
 func (o *Oblivious) Name() string { return o.name }
+
+// StaticOrder implements staticRank: the immutable order (position ->
+// job) the policy was built from.
+func (o *Oblivious) StaticOrder() []int { return o.order }
+
+// fastCore implements staticRank.
+func (o *Oblivious) fastCore() *Oblivious { return o }
 
 // Start implements Policy.
 func (o *Oblivious) Start(g *dag.Frozen, _ *rng.Source) {
